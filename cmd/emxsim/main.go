@@ -1,0 +1,97 @@
+// Command emxsim runs one workload configuration on the simulated EM-X
+// and prints the measurements the paper reports: the execution-time
+// decomposition, switch counts by type, and network statistics.
+//
+// Usage:
+//
+//	emxsim -workload bitonic -p 64 -n 16384 -h 4
+//	emxsim -workload fft -p 16 -n 8192 -h 2 -mode exu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emx/internal/harness"
+	"emx/internal/metrics"
+	"emx/internal/proc"
+	"emx/internal/sim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bitonic", "workload: bitonic or fft")
+		p        = flag.Int("p", 16, "number of processors (power of two)")
+		n        = flag.Int("n", 16384, "problem size in elements/points (power of two)")
+		h        = flag.Int("h", 4, "threads per processor")
+		mode     = flag.String("mode", "bypass", "remote request servicing: bypass (EM-X) or exu (EM-4)")
+		block    = flag.Bool("block", false, "bitonic: use block-read send instructions")
+		seed     = flag.Int64("seed", 1, "input generator seed")
+		verify   = flag.Bool("verify", true, "check the workload's output")
+	)
+	flag.Parse()
+
+	ps := harness.PointSpec{
+		P: *p, SimN: *n, PaperN: *n, H: *h,
+		BlockRead: *block, Seed: *seed, Verify: *verify,
+	}
+	switch *workload {
+	case "bitonic":
+		ps.Workload = harness.Bitonic
+	case "fft":
+		ps.Workload = harness.FFT
+	default:
+		fmt.Fprintf(os.Stderr, "emxsim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "bypass":
+		ps.Mode = proc.ServiceBypass
+	case "exu":
+		ps.Mode = proc.ServiceEXU
+	default:
+		fmt.Fprintf(os.Stderr, "emxsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	run, err := harness.RunPoint(ps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emxsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s (verified: %v)\n", *workload, *verify)
+	fmt.Printf("machine         P=%d EMC-Y @ 20 MHz, %s servicing\n", *p, *mode)
+	fmt.Printf("problem         n=%d, h=%d threads/PE\n", *n, *h)
+	fmt.Printf("makespan        %d cycles = %.3f ms simulated\n",
+		run.Makespan, run.Makespan.Seconds()*1e3)
+	fmt.Printf("events          %d simulation events\n", run.SimEvents)
+
+	b := run.TotalBreakdown()
+	c, o, m, s := b.Fractions()
+	fmt.Printf("\nexecution time distribution (all PEs):\n")
+	fmt.Printf("  computation   %6.2f%%  (%d cycles)\n", 100*c, b.Compute)
+	fmt.Printf("  overhead      %6.2f%%  (%d cycles)\n", 100*o, b.Overhead)
+	fmt.Printf("  communication %6.2f%%  (%d cycles)\n", 100*m, b.Comm)
+	fmt.Printf("  switching     %6.2f%%  (%d cycles)\n", 100*s, b.Switch)
+
+	fmt.Printf("\nswitches per PE (mean):\n")
+	for _, k := range []metrics.SwitchKind{
+		metrics.SwitchRemoteRead, metrics.SwitchIterSync,
+		metrics.SwitchThreadSync, metrics.SwitchExplicit,
+	} {
+		fmt.Printf("  %-12s  %.1f\n", k, run.MeanSwitches(k))
+	}
+
+	fmt.Printf("\ncounters:\n")
+	fmt.Printf("  remote reads  %d\n", run.SumCounter(func(pe *metrics.PE) uint64 { return pe.RemoteReads }))
+	fmt.Printf("  remote writes %d\n", run.SumCounter(func(pe *metrics.PE) uint64 { return pe.RemoteWrites }))
+	fmt.Printf("  DMA serviced  %d\n", run.SumCounter(func(pe *metrics.PE) uint64 { return pe.ServicedDMA }))
+	fmt.Printf("  EXU serviced  %d\n", run.SumCounter(func(pe *metrics.PE) uint64 { return pe.ServicedEXU }))
+	fmt.Printf("  queue spills  %d\n", run.SumCounter(func(pe *metrics.PE) uint64 { return pe.Spills }))
+	fmt.Printf("  packets sent  %d (%d link hops, %d cycles queueing)\n",
+		run.PacketsSent, run.PacketsHops, run.NetQueueDelay)
+	fmt.Printf("  mean comm/PE  %.0f cycles (%.2f us)\n",
+		run.MeanCommTime(), sim.Time(run.MeanCommTime()).Micros())
+}

@@ -1,0 +1,13 @@
+// Package emx is a from-scratch Go reproduction of "Fine-Grain
+// Multithreading with the EM-X Multiprocessor" (Sohn et al., SPAA 1997):
+// a deterministic cycle-level simulator of the EM-X distributed-memory
+// machine — EMC-Y processors with by-passing DMA, a circular Omega
+// network with two-word packets, hardware FIFO thread scheduling — plus
+// the paper's multithreaded bitonic sorting and FFT workloads and a
+// harness that regenerates every evaluation figure.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each figure panel at a
+// reduced scale; cmd/emxbench produces the full series.
+package emx

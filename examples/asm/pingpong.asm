@@ -1,0 +1,16 @@
+; pingpong.asm — measure remote read latency: 32 dependent remote reads
+; from PE (npe/2). Run on at least two processors:
+;
+;   go run ./cmd/emxasm -run -p 4 examples/asm/pingpong.asm
+main:
+    srli r1, npe, 1     ; mate = npe/2
+    li   r2, 0          ; offset
+    li   r3, 32         ; iterations
+    li   r4, 0
+loop:
+    gaddr r5, r1, r2
+    rread r6, r5        ; split-phase: suspend until the reply returns
+    addi  r2, r2, 1
+    addi  r4, r4, 1
+    blt   r4, r3, loop
+    halt

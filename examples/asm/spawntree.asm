@@ -1,0 +1,19 @@
+; spawntree.asm — every PE gets a child thread that deposits pe*pe into
+; PE0's memory at offset 32+pe (a gather via remote writes).
+;
+;   go run ./cmd/emxasm -run -p 8 -dump 32:8 examples/asm/spawntree.asm
+main:
+    li r1, 0
+loop:
+    spawn r1, child, r1
+    addi  r1, r1, 1
+    blt   r1, npe, loop
+    halt
+child:
+    mul   r2, arg, arg  ; pe*pe
+    li    r3, 32
+    add   r3, r3, arg
+    li    r4, 0
+    gaddr r5, r4, r3    ; PE0 + (32+pe)
+    rwrite r5, r2
+    halt

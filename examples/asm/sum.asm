@@ -1,0 +1,14 @@
+; sum.asm — sum the integers 1..arg and store the result at memory[0].
+;
+;   go run ./cmd/emxasm -run -arg 100 -dump 0:1 examples/asm/sum.asm
+main:
+    li   r1, 0          ; sum
+    li   r2, 1          ; i
+loop:
+    add  r1, r1, r2
+    addi r2, r2, 1
+    blt  r2, arg, loop
+    add  r1, r1, arg    ; include i == arg
+    li   r3, 0
+    st   r1, 0(r3)
+    halt

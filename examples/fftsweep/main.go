@@ -1,0 +1,58 @@
+// Fftsweep runs the multithreaded FFT across thread counts on a
+// 16-processor EM-X and prints the communication time and overlapping
+// efficiency — a miniature of the paper's Figures 6(c) and 7(c).
+//
+//	go run ./examples/fftsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emx/internal/apps/fft"
+	"emx/internal/core"
+	"emx/internal/metrics"
+)
+
+func main() {
+	const (
+		p = 16
+		n = 8192 // stands for the paper's 2M points at scale 256
+	)
+	fmt.Printf("Multithreaded FFT, P=%d, n=%d points, first log2(P) iterations\n\n", p, n)
+
+	runs := map[int]*metrics.Run{}
+	threads := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	for _, h := range threads {
+		cfg := core.DefaultConfig(p)
+		r, err := fft.Run(cfg, fft.Params{N: n, H: h, Seed: 5, SkipVerify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[h] = r
+	}
+	base := runs[1]
+
+	fmt.Printf("%-8s %-16s %-14s %-12s %-12s\n",
+		"threads", "comm/PE (cyc)", "makespan", "overlap E", "iter-sync/PE")
+	for _, h := range threads {
+		r := runs[h]
+		fmt.Printf("%-8d %-16.0f %-14d %9.1f%%  %-12.1f\n",
+			h, r.MeanCommTime(), r.Makespan,
+			metrics.Efficiency(base, r), r.MeanSwitches(metrics.SwitchIterSync))
+	}
+
+	fmt.Println()
+	fmt.Println("FFT has no thread synchronization and a run length of hundreds of")
+	fmt.Println("cycles per point, so 2-4 threads hide >95% of the communication;")
+	fmt.Println("larger thread counts only add iteration-sync switching cost.")
+
+	// Correctness: the same engine also computes a verifiable transform
+	// when the local iterations are enabled.
+	cfg := core.DefaultConfig(p)
+	if _, err := fft.Run(cfg, fft.Params{N: 1024, H: 4, Seed: 5, AllStages: true}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("AllStages self-check vs the reference DFT: passed (n=1024).")
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a simulated EM-X, run fine-grain threads on it, and
+// read the paper's metrics.
+//
+// Four threads per processor each perform split-phase remote reads from a
+// mate processor with a short computation in between — the core
+// latency-tolerance pattern of the paper. Compare the exposed
+// communication time against a single-threaded run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emx/internal/core"
+	"emx/internal/metrics"
+	"emx/internal/packet"
+)
+
+func runMachine(h int) *metrics.Run {
+	// A 16-processor EM-X with the paper's timing calibration.
+	cfg := core.DefaultConfig(16)
+	cfg.MemWords = 1 << 12
+
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill every PE's memory with data for its mate to read.
+	for pe := packet.PE(0); pe < 16; pe++ {
+		for off := uint32(0); off < 256; off++ {
+			m.Mem(pe).Poke(off, packet.Word(uint32(pe)<<16|off))
+		}
+	}
+
+	// h threads per PE, each reading 64/h words from the mate PE with a
+	// 12-cycle run length between reads (the paper's sorting loop shape).
+	for pe := packet.PE(0); pe < 16; pe++ {
+		pe := pe
+		mate := pe ^ 8
+		for th := 0; th < h; th++ {
+			th := th
+			m.SpawnAt(pe, fmt.Sprintf("reader-%d", th), packet.Word(th), func(tc *core.TC) {
+				per := 64 / h
+				for k := 0; k < per; k++ {
+					off := uint32(th*per + k)
+					v := tc.Read(packet.GlobalAddr{PE: mate, Off: off}) // suspends; EXU switches
+					tc.Compute(12)                                      // run length
+					tc.PokeLocal(512+off, v)
+				}
+			})
+		}
+	}
+
+	run, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return run
+}
+
+func main() {
+	fmt.Println("EM-X quickstart: overlapping communication with computation")
+	fmt.Println()
+	base := runMachine(1)
+	fmt.Printf("%-8s %-14s %-16s %-10s\n", "threads", "makespan(cyc)", "comm/PE(cyc)", "overlap E")
+	for _, h := range []int{1, 2, 4, 8} {
+		run := runMachine(h)
+		fmt.Printf("%-8d %-14d %-16.0f %6.1f%%\n",
+			h, run.Makespan, run.MeanCommTime(), metrics.Efficiency(base, run))
+	}
+	fmt.Println()
+	fmt.Println("With 2-4 threads the split-phase read latency is hidden behind")
+	fmt.Println("other threads' computation, exactly the paper's headline effect.")
+}

@@ -1,0 +1,3 @@
+module emx
+
+go 1.22

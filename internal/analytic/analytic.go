@@ -1,0 +1,219 @@
+// Package analytic implements the Saavedra-Barrera analytic model of
+// multithreaded processor efficiency (the paper's reference [16]) and a
+// synthetic kernel that measures the same quantity on the simulator, so
+// the model's three regions — linear, transition, saturation — can be
+// compared against machine behaviour (experiment X-model in DESIGN.md).
+//
+// Model parameters, all in cycles:
+//
+//	R — run length: useful work between consecutive remote reads
+//	L — remote read latency (request to resumable reply)
+//	C — context switch cost (save + dispatch + restore)
+//
+// With one thread the processor works R out of every R+C+L cycles. Adding
+// threads fills the latency window L with other threads' work until it is
+// full; past that point efficiency is limited only by switch overhead:
+//
+//	E(N) = N*R / (R + C + L)   while (N-1)(R+C) < L   (linear region)
+//	E(N) = R / (R + C)         otherwise               (saturation)
+//
+// The crossover N* = 1 + L/(R+C) is the saturation point; the paper's
+// "two to four threads" observation is exactly N* for R=12, C~18, L~30.
+package analytic
+
+import (
+	"fmt"
+
+	"emx/internal/core"
+	"emx/internal/metrics"
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+// Region classifies where a thread count sits in the model.
+type Region uint8
+
+const (
+	// Linear: efficiency grows proportionally with the thread count.
+	Linear Region = iota
+	// Transition: within one thread of the saturation point.
+	Transition
+	// Saturation: efficiency is pinned at R/(R+C).
+	Saturation
+)
+
+func (r Region) String() string {
+	switch r {
+	case Linear:
+		return "linear"
+	case Transition:
+		return "transition"
+	case Saturation:
+		return "saturation"
+	}
+	return "?"
+}
+
+// Model holds the three parameters.
+type Model struct {
+	R, L, C float64
+}
+
+// Validate rejects non-positive run lengths or negative costs.
+func (m Model) Validate() error {
+	if m.R <= 0 || m.L < 0 || m.C < 0 {
+		return fmt.Errorf("analytic: invalid model %+v", m)
+	}
+	return nil
+}
+
+// Efficiency returns the modelled processor efficiency for n threads,
+// in [0, 1].
+func (m Model) Efficiency(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	sat := m.R / (m.R + m.C)
+	lin := float64(n) * m.R / (m.R + m.C + m.L)
+	if lin < sat {
+		return lin
+	}
+	return sat
+}
+
+// SaturationPoint returns N* = 1 + L/(R+C), the thread count at which the
+// latency window is exactly filled.
+func (m Model) SaturationPoint() float64 {
+	return 1 + m.L/(m.R+m.C)
+}
+
+// RegionOf classifies a thread count.
+func (m Model) RegionOf(n int) Region {
+	ns := m.SaturationPoint()
+	switch {
+	case float64(n) < ns-1:
+		return Linear
+	case float64(n) <= ns+1:
+		return Transition
+	default:
+		return Saturation
+	}
+}
+
+// KernelParams configures the synthetic measurement kernel: h threads per
+// PE, each performing Reads split-phase remote reads to a fixed mate PE
+// with R cycles of computation between consecutive reads — the workload
+// the model describes.
+type KernelParams struct {
+	H     int
+	Reads int      // remote reads per thread
+	R     sim.Time // run length between reads
+	Seed  int64
+}
+
+// RunKernel executes the kernel and returns the run plus the measured
+// efficiency (useful computation cycles / available processor cycles).
+func RunKernel(cfg core.Config, kp KernelParams) (*metrics.Run, float64, error) {
+	if kp.H < 1 || kp.Reads < 1 || kp.R < 1 {
+		return nil, 0, fmt.Errorf("analytic: bad kernel params %+v", kp)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	for pe := 0; pe < cfg.P; pe++ {
+		pe := packet.PE(pe)
+		mate := packet.PE((int(pe) + cfg.P/2) % cfg.P)
+		for th := 0; th < kp.H; th++ {
+			th := th
+			m.SpawnAt(pe, fmt.Sprintf("kernel-t%d", th), packet.Word(th), func(tc *core.TC) {
+				for i := 0; i < kp.Reads; i++ {
+					tc.Compute(kp.R)
+					tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(th*kp.Reads + i%64)})
+				}
+			})
+		}
+	}
+	run, err := m.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	run.Label = "kernel"
+	run.H = kp.H
+	var compute sim.Time
+	for i := range run.PEs {
+		compute += run.PEs[i].Times.Compute
+	}
+	eff := float64(compute) / (float64(run.Makespan) * float64(cfg.P))
+	return run, eff, nil
+}
+
+// FitFromConfig derives model parameters from a machine configuration and
+// kernel run length: C is the full switch path (save + dispatch +
+// restore), L the measured unloaded round trip for the machine size.
+func FitFromConfig(cfg core.Config, r sim.Time) Model {
+	c := float64(cfg.SaveCycles + cfg.DispatchCycles + cfg.RestoreCycles)
+	return Model{
+		R: float64(r),
+		L: float64(MeasureLatency(cfg)),
+		C: c,
+	}
+}
+
+// MeasureLatency runs a one-read probe on an idle machine and returns the
+// observed request-to-resume latency in cycles.
+func MeasureLatency(cfg core.Config) sim.Time {
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return 0
+	}
+	var lat sim.Time
+	m.SpawnAt(0, "probe", 0, func(tc *core.TC) {
+		mate := packet.PE(cfg.P / 2)
+		if cfg.P == 1 {
+			mate = 0
+		}
+		start := tc.Now()
+		tc.Read(packet.GlobalAddr{PE: mate, Off: 0})
+		lat = tc.Now() - start
+	})
+	if _, err := m.Run(); err != nil {
+		return 0
+	}
+	return lat
+}
+
+// MeasureLoadedLatency runs h threads per PE, each issuing reads to its
+// mate with run length r between them, and returns the mean observed
+// request-to-resume latency in cycles. Observed latency includes FIFO
+// queueing behind sibling threads, which is how a program on the real
+// machine experiences it — the paper's "1 to 2 usec when the network is
+// normally loaded".
+func MeasureLoadedLatency(cfg core.Config, h, reads int, r sim.Time) (float64, error) {
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Time
+	var count int
+	for pe := 0; pe < cfg.P; pe++ {
+		pe := packet.PE(pe)
+		mate := packet.PE((int(pe) + cfg.P/2) % cfg.P)
+		for th := 0; th < h; th++ {
+			th := th
+			m.SpawnAt(pe, "probe", packet.Word(th), func(tc *core.TC) {
+				for i := 0; i < reads; i++ {
+					tc.Compute(r)
+					t0 := tc.Now()
+					tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(th*64 + i%64)})
+					total += tc.Now() - t0
+					count++
+				}
+			})
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(count), nil
+}

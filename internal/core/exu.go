@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"emx/internal/memory"
+	"emx/internal/metrics"
+	"emx/internal/packet"
+	"emx/internal/proc"
+	"emx/internal/sim"
+	"emx/internal/thread"
+)
+
+// exu is the engine-side model of one EMC-Y Execution Unit plus Matching
+// Unit: it dispatches packets from the hardware FIFO queue, runs thread
+// coroutines, charges cycles to the four accounting buckets, and issues
+// packets through the PE's OBU.
+type exu struct {
+	m  *Machine
+	pe packet.PE
+	p  *proc.Proc
+	st *metrics.PE
+
+	busy         bool
+	idleSince    sim.Time // valid when !busy
+	restoredSeen uint64   // spill restores already charged
+}
+
+func newEXU(m *Machine, pe packet.PE) *exu {
+	return &exu{m: m, pe: pe, p: m.Procs[pe], st: &m.stats[pe], idleSince: 0}
+}
+
+// wake is called whenever a packet is pushed to this PE's queue.
+func (x *exu) wake() {
+	if !x.busy {
+		x.dispatch()
+	}
+}
+
+// dispatch pops the next packet, charges Matching Unit time, and handles
+// it. When the queue is empty the EXU goes idle; idle time is attributed
+// to communication (exposed latency) when it ends.
+func (x *exu) dispatch() {
+	pkt, _, _, ok := x.p.Queue.Pop()
+	if !ok {
+		x.busy = false
+		x.idleSince = x.m.Eng.Now()
+		return
+	}
+	now := x.m.Eng.Now()
+	if !x.busy {
+		x.st.Times.Comm += now - x.idleSince
+		x.busy = true
+	}
+	x.st.Dispatches++
+	cost := x.m.Cfg.DispatchCycles
+	// Spilled packets are restored from the on-memory buffer by extra MCU
+	// traffic; charge it to the dispatch that consumed the restore.
+	if restored := x.p.Queue.Restored; restored > x.restoredSeen {
+		cost += sim.Time(restored-x.restoredSeen) * x.p.Config().SpillCycles
+		x.restoredSeen = restored
+	}
+	x.st.Times.Switch += cost
+	x.m.Eng.After(cost, func() { x.handle(pkt) })
+}
+
+// handle interprets one dequeued packet.
+func (x *exu) handle(pkt *packet.Packet) {
+	switch pkt.Kind {
+	case packet.KindInvoke:
+		info := x.m.takeSpawn(pkt.Seq)
+		f := x.p.Frames.Alloc(thread.NoFrame, info.name)
+		t := &thr{
+			m:      x.m,
+			pe:     x.pe,
+			frame:  f.ID,
+			name:   info.name,
+			fn:     info.fn,
+			resume: make(chan resumeMsg),
+		}
+		f.State = t
+		x.m.allThreads = append(x.m.allThreads, t)
+		x.m.live++
+		x.m.wg.Add(1)
+		go t.main()
+		// Frame allocation and argument deposit.
+		x.st.Times.Switch += x.m.Cfg.SpawnCycles
+		x.m.Eng.After(x.m.Cfg.SpawnCycles, func() {
+			x.m.trace(TraceStart, t)
+			x.exec(t, resumeMsg{val: pkt.Data})
+		})
+
+	case packet.KindReadReply:
+		t := x.threadOf(pkt.Cont.Frame)
+		rw := t.rw
+		if rw == nil || t.state != stSuspendedRead {
+			x.m.fail(fmt.Errorf("core: PE%d reply for %v, but thread %v is not reading", x.pe, pkt.Cont, t))
+			return
+		}
+		idx := pkt.Addr.Off - rw.base
+		if int(idx) >= len(rw.buf) {
+			x.m.fail(fmt.Errorf("core: PE%d reply offset %d outside read window of %v", x.pe, idx, t))
+			return
+		}
+		rw.buf[idx] = pkt.Data
+		rw.remaining--
+		if rw.remaining > 0 {
+			// More block words in flight: keep the thread suspended and
+			// service the next packet.
+			x.dispatch()
+			return
+		}
+		t.rw = nil
+		x.resumeThread(t, resumeMsg{val: rw.buf[0], vals: rw.buf})
+
+	case packet.KindResume:
+		t := x.threadOf(pkt.Cont.Frame)
+		x.resumeThread(t, resumeMsg{})
+
+	case packet.KindSync:
+		x.m.barrierToken(x.pe, pkt)
+		x.dispatch()
+
+	case packet.KindReadReq, packet.KindBlockReadReq, packet.KindWrite:
+		// ServiceEXU mode (EM-4): the request steals EXU cycles.
+		x.st.Times.Overhead += x.m.Cfg.EXUServiceCycles
+		x.m.Eng.After(x.m.Cfg.EXUServiceCycles, func() {
+			x.p.ServiceOnEXU(pkt)
+			x.dispatch()
+		})
+
+	default:
+		x.m.fail(fmt.Errorf("core: PE%d cannot handle %v", x.pe, pkt))
+	}
+}
+
+func (x *exu) threadOf(frame uint32) *thr {
+	f := x.p.Frames.Get(frame)
+	if f == nil {
+		panic(fmt.Sprintf("core: PE%d packet for dead frame %d", x.pe, frame))
+	}
+	return f.State.(*thr)
+}
+
+// resumeThread charges register restore and continues the coroutine.
+func (x *exu) resumeThread(t *thr, msg resumeMsg) {
+	x.st.Times.Switch += x.m.Cfg.RestoreCycles
+	x.m.Eng.After(x.m.Cfg.RestoreCycles, func() {
+		x.m.trace(TraceRun, t)
+		x.exec(t, msg)
+	})
+}
+
+// exec resumes the coroutine and performs the operation it yields.
+func (x *exu) exec(t *thr, msg resumeMsg) {
+	cfg := &x.m.Cfg
+	eng := x.m.Eng
+	op := x.m.step(t, msg)
+	switch op := op.(type) {
+	case opCompute:
+		if op.cycles < 0 {
+			x.m.fail(fmt.Errorf("core: %v computed negative cycles", t))
+			return
+		}
+		x.st.Times.Compute += op.cycles
+		eng.After(op.cycles, func() { x.exec(t, resumeMsg{}) })
+
+	case opRead:
+		x.issueRead(t, op.addr, 1)
+
+	case opReadBlock:
+		if op.n <= 0 {
+			x.m.fail(fmt.Errorf("core: %v block read of %d words", t, op.n))
+			return
+		}
+		x.issueRead(t, op.addr, op.n)
+
+	case opWrite:
+		x.st.Times.Overhead += cfg.PacketGenCycles
+		x.st.RemoteWrites++
+		eng.After(cfg.PacketGenCycles, func() {
+			x.p.Inject(&packet.Packet{
+				Kind: packet.KindWrite,
+				Src:  x.pe,
+				Addr: op.addr,
+				Data: op.data,
+			})
+			// Remote writes do not suspend the issuing thread.
+			x.exec(t, resumeMsg{})
+		})
+
+	case opWriteSync:
+		x.st.Times.Overhead += cfg.PacketGenCycles
+		eng.After(cfg.PacketGenCycles, func() {
+			x.p.Inject(&packet.Packet{
+				Kind: packet.KindSync,
+				Src:  x.pe,
+				Addr: op.addr,
+				Data: op.data,
+			})
+			x.exec(t, resumeMsg{})
+		})
+
+	case opSpawn:
+		x.st.Times.Overhead += cfg.PacketGenCycles
+		x.st.Invokes++
+		seq := x.m.registerSpawn(op.name, op.fn)
+		pe, arg := op.pe, op.arg
+		eng.After(cfg.PacketGenCycles, func() {
+			x.p.Inject(&packet.Packet{
+				Kind: packet.KindInvoke,
+				Src:  x.pe,
+				Addr: packet.GlobalAddr{PE: pe},
+				Data: arg,
+				Seq:  seq,
+			})
+			x.exec(t, resumeMsg{})
+		})
+
+	case opWait:
+		x.st.Switches[op.kind]++
+		x.st.Times.Switch += cfg.SpinCheckCycles + cfg.SaveCycles
+		t.state = stBlocked
+		x.m.trace(TraceYield, t)
+		op.ws.waiters = append(op.ws.waiters, waiter{t: t, cond: op.cond})
+		eng.After(cfg.SpinCheckCycles+cfg.SaveCycles, func() { x.dispatch() })
+
+	case opYield:
+		x.st.Switches[op.kind]++
+		x.st.Times.Switch += cfg.SpinCheckCycles + cfg.SaveCycles
+		t.state = stQueued
+		x.m.trace(TraceYield, t)
+		eng.After(cfg.SpinCheckCycles+cfg.SaveCycles, func() {
+			x.p.PushLocal(thread.Low, &packet.Packet{
+				Kind: packet.KindResume,
+				Src:  x.pe,
+				Cont: packet.Continuation{PE: x.pe, Frame: t.frame},
+			})
+			x.dispatch()
+		})
+
+	case opLocalLoad:
+		v, done := x.p.Mem.Read(eng.Now(), memory.PortEXU, op.off)
+		x.st.Times.Compute += done - eng.Now()
+		eng.At(done, func() { x.exec(t, resumeMsg{val: v}) })
+
+	case opLocalStore:
+		done := x.p.Mem.Write(eng.Now(), memory.PortEXU, op.off, op.data)
+		x.st.Times.Compute += done - eng.Now()
+		eng.At(done, func() { x.exec(t, resumeMsg{}) })
+
+	case opDone:
+		t.state = stDone
+		x.m.trace(TraceEnd, t)
+		x.m.live--
+		x.p.Frames.Free(t.frame)
+		x.dispatch()
+
+	case opPanic:
+		t.state = stDone
+		x.m.live--
+		x.m.fail(fmt.Errorf("core: thread %v panicked: %v", t, op.reason))
+
+	default:
+		x.m.fail(fmt.Errorf("core: %v yielded unknown op %T", t, op))
+	}
+}
+
+// issueRead sends a (block) read request and suspends the thread: packet
+// generation is overhead, the register save is switch time, and the
+// suspension is counted as a remote-read switch (Figure 9's dominant
+// category — exactly one per remote read).
+func (x *exu) issueRead(t *thr, addr packet.GlobalAddr, n int) {
+	cfg := &x.m.Cfg
+	x.st.Times.Overhead += cfg.PacketGenCycles
+	x.st.RemoteReads += uint64(n)
+	x.st.Switches[metrics.SwitchRemoteRead]++
+	t.rw = &readWait{base: addr.Off, buf: make([]packet.Word, n), remaining: n}
+	t.state = stSuspendedRead
+	x.m.trace(TraceReadIssue, t)
+	kind := packet.KindReadReq
+	var block uint32
+	if n > 1 {
+		kind = packet.KindBlockReadReq
+		block = uint32(n)
+	}
+	pkt := &packet.Packet{
+		Kind:  kind,
+		Src:   x.pe,
+		Addr:  addr,
+		Block: block,
+		Cont:  packet.Continuation{PE: x.pe, Frame: t.frame},
+	}
+	x.m.Eng.After(cfg.PacketGenCycles, func() {
+		x.p.Inject(pkt)
+		x.st.Times.Switch += cfg.SaveCycles
+		x.m.Eng.After(cfg.SaveCycles, func() { x.dispatch() })
+	})
+}
+
+// closeAccounting attributes trailing idle time (after the PE's last
+// activity) to communication, so per-PE components sum to the makespan.
+func (x *exu) closeAccounting(end sim.Time) {
+	if !x.busy && x.idleSince <= end {
+		x.st.Times.Comm += end - x.idleSince
+		x.idleSince = end
+	}
+}

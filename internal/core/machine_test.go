@@ -1,0 +1,746 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"emx/internal/metrics"
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+func newTestMachine(t *testing.T, p int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(p)
+	cfg.MemWords = 1 << 16
+	cfg.MaxCycles = 10_000_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustRun(t *testing.T, m *Machine) *metrics.Run {
+	t.Helper()
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMachineValidation(t *testing.T) {
+	if _, err := NewMachine(Config{P: 0, MemWords: 10}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	// Non-power-of-two machine sizes are allowed (the prototype has 80
+	// PEs); the switch fabric rounds up internally.
+	if _, err := NewMachine(DefaultConfig(80)); err != nil {
+		t.Errorf("P=80 rejected: %v", err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.SaveCycles = -1
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("negative timing accepted")
+	}
+}
+
+func TestSingleThreadCompute(t *testing.T) {
+	m := newTestMachine(t, 1)
+	ran := false
+	m.SpawnAt(0, "main", 7, func(tc *TC) {
+		if tc.Arg() != 7 {
+			t.Errorf("arg = %d, want 7", tc.Arg())
+		}
+		if tc.PE() != 0 || tc.P() != 1 || tc.Name() != "main" {
+			t.Errorf("identity: pe=%d p=%d name=%q", tc.PE(), tc.P(), tc.Name())
+		}
+		tc.Compute(100)
+		ran = true
+	})
+	r := mustRun(t, m)
+	if !ran {
+		t.Fatal("thread body did not run")
+	}
+	if r.PEs[0].Times.Compute != 100 {
+		t.Fatalf("compute = %d, want 100", r.PEs[0].Times.Compute)
+	}
+	// Makespan = dispatch + spawn + compute.
+	want := m.Cfg.DispatchCycles + m.Cfg.SpawnCycles + 100
+	if r.Makespan != want {
+		t.Fatalf("makespan = %d, want %d", r.Makespan, want)
+	}
+}
+
+func TestRemoteReadRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 16)
+	m.Mem(9).Poke(500, 0xbeef)
+	var got packet.Word
+	var issued, returned sim.Time
+	m.SpawnAt(0, "reader", 0, func(tc *TC) {
+		issued = tc.Now()
+		got = tc.Read(packet.GlobalAddr{PE: 9, Off: 500})
+		returned = tc.Now()
+	})
+	r := mustRun(t, m)
+	if got != 0xbeef {
+		t.Fatalf("read returned %#x, want 0xbeef", uint32(got))
+	}
+	// The paper: a typical remote read takes ~1 us (20 cycles), up to
+	// 2 us under load. Unloaded round trip must land in [15, 45].
+	lat := returned - issued
+	if lat < 15 || lat > 45 {
+		t.Fatalf("remote read latency = %d cycles, want 20-40ish", lat)
+	}
+	if r.PEs[0].RemoteReads != 1 {
+		t.Fatalf("remote reads = %d", r.PEs[0].RemoteReads)
+	}
+	if r.PEs[0].Switches[metrics.SwitchRemoteRead] != 1 {
+		t.Fatalf("remote-read switches = %d, want 1", r.PEs[0].Switches[metrics.SwitchRemoteRead])
+	}
+	if r.PEs[9].ServicedDMA != 1 {
+		t.Fatalf("PE9 serviced %d requests via DMA", r.PEs[9].ServicedDMA)
+	}
+	// By-passing: the remote PE's EXU never ran anything.
+	if r.PEs[9].Dispatches != 0 {
+		t.Fatalf("PE9 dispatched %d packets; bypass should not involve the EXU", r.PEs[9].Dispatches)
+	}
+}
+
+func TestRemoteWriteVisible(t *testing.T) {
+	m := newTestMachine(t, 4)
+	m.SpawnAt(2, "writer", 0, func(tc *TC) {
+		tc.Write(packet.GlobalAddr{PE: 3, Off: 8}, 1234)
+		// Writes don't suspend: thread continues immediately.
+		tc.Compute(5)
+	})
+	mustRun(t, m)
+	if got := m.Mem(3).Peek(8); got != 1234 {
+		t.Fatalf("remote write not applied: %d", got)
+	}
+}
+
+func TestBlockRead(t *testing.T) {
+	m := newTestMachine(t, 8)
+	for i := uint32(0); i < 16; i++ {
+		m.Mem(5).Poke(100+i, packet.Word(i*3))
+	}
+	var got []packet.Word
+	m.SpawnAt(1, "blockreader", 0, func(tc *TC) {
+		got = tc.ReadBlock(packet.GlobalAddr{PE: 5, Off: 100}, 16)
+	})
+	r := mustRun(t, m)
+	if len(got) != 16 {
+		t.Fatalf("block read returned %d words", len(got))
+	}
+	for i, w := range got {
+		if w != packet.Word(i*3) {
+			t.Fatalf("block[%d] = %d, want %d", i, w, i*3)
+		}
+	}
+	// One request, 16 words; exactly one remote-read switch (one suspend).
+	if r.PEs[1].RemoteReads != 16 {
+		t.Fatalf("remote reads = %d, want 16 words", r.PEs[1].RemoteReads)
+	}
+	if r.PEs[1].Switches[metrics.SwitchRemoteRead] != 1 {
+		t.Fatalf("switches = %d, want 1 for a block read", r.PEs[1].Switches[metrics.SwitchRemoteRead])
+	}
+}
+
+func TestSpawnRemote(t *testing.T) {
+	m := newTestMachine(t, 4)
+	order := make(chan string, 4)
+	m.SpawnAt(0, "parent", 0, func(tc *TC) {
+		tc.Spawn(2, "child", 42, func(tc2 *TC) {
+			if tc2.PE() != 2 || tc2.Arg() != 42 {
+				t.Errorf("child on PE%d with arg %d", tc2.PE(), tc2.Arg())
+			}
+			order <- "child"
+		})
+		tc.Compute(1)
+		order <- "parent"
+	})
+	r := mustRun(t, m)
+	close(order)
+	var got []string
+	for s := range order {
+		got = append(got, s)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ran %v", got)
+	}
+	if r.PEs[0].Invokes != 1 {
+		t.Fatalf("invokes = %d", r.PEs[0].Invokes)
+	}
+}
+
+func TestLocalLoadStore(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var got packet.Word
+	m.SpawnAt(0, "mem", 0, func(tc *TC) {
+		tc.LocalStore(40, 77)
+		got = tc.LocalLoad(40)
+		tc.PokeLocal(41, 88)
+		if tc.PeekLocal(41) != 88 {
+			t.Error("peek/poke mismatch")
+		}
+	})
+	r := mustRun(t, m)
+	if got != 77 {
+		t.Fatalf("local load = %d", got)
+	}
+	// Local accesses charged as compute (2 cycles each through the MCU).
+	if r.PEs[0].Times.Compute != 4 {
+		t.Fatalf("compute = %d, want 4", r.PEs[0].Times.Compute)
+	}
+}
+
+func TestMultithreadOverlapBeatsSingleThread(t *testing.T) {
+	// The paper's core claim in miniature: h=4 threads each doing
+	// read-then-tiny-compute finish much faster than one thread doing all
+	// reads serially, because reads overlap.
+	run := func(h int) sim.Time {
+		m := newTestMachine(t, 16)
+		reads := 64
+		for i := 0; i < reads; i++ {
+			m.Mem(9).Poke(uint32(i), packet.Word(i))
+		}
+		for th := 0; th < h; th++ {
+			th := th
+			m.SpawnAt(0, "t", packet.Word(th), func(tc *TC) {
+				per := reads / h
+				for k := 0; k < per; k++ {
+					tc.Read(packet.GlobalAddr{PE: 9, Off: uint32(th*per + k)})
+					tc.Compute(12)
+				}
+			})
+		}
+		r := mustRun(t, m)
+		return r.Makespan
+	}
+	t1, t4 := run(1), run(4)
+	if t4 >= t1 {
+		t.Fatalf("4 threads (%d cycles) not faster than 1 (%d cycles)", t4, t1)
+	}
+	// With save+restore+dispatch ~= the unloaded round trip, the h=4
+	// makespan is EXU-bound; anything under ~0.85 of t1 shows real overlap
+	// (the comm-time drop itself is asserted in TestCommTimeDropsWithThreads).
+	if float64(t4) > 0.85*float64(t1) {
+		t.Fatalf("insufficient overlap: t4=%d vs t1=%d", t4, t1)
+	}
+}
+
+func TestCommTimeDropsWithThreads(t *testing.T) {
+	// Figure 6's y-axis: per-PE exposed communication time must drop when
+	// going from 1 to 4 threads.
+	run := func(h int) float64 {
+		m := newTestMachine(t, 16)
+		for th := 0; th < h; th++ {
+			th := th
+			m.SpawnAt(0, "t", 0, func(tc *TC) {
+				for k := 0; k < 32/h; k++ {
+					tc.Read(packet.GlobalAddr{PE: 3, Off: uint32(th*32 + k)})
+					tc.Compute(12)
+				}
+			})
+		}
+		r := mustRun(t, m)
+		return float64(r.PEs[0].Times.Comm)
+	}
+	c1, c4 := run(1), run(4)
+	if c4 >= c1*0.6 {
+		t.Fatalf("comm time did not drop: c1=%v c4=%v", c1, c4)
+	}
+}
+
+func TestBreakdownSumsToMakespan(t *testing.T) {
+	m := newTestMachine(t, 8)
+	for pe := packet.PE(0); pe < 8; pe++ {
+		pe := pe
+		m.SpawnAt(pe, "w", 0, func(tc *TC) {
+			mate := (pe + 4) % 8
+			for k := 0; k < 10; k++ {
+				tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(k)})
+				tc.Compute(20)
+				tc.Write(packet.GlobalAddr{PE: mate, Off: uint32(100 + k)}, 1)
+			}
+		})
+	}
+	r := mustRun(t, m)
+	for pe := range r.PEs {
+		if got := r.PEs[pe].Times.Total(); got != r.Makespan {
+			t.Fatalf("PE%d breakdown %+v sums to %d, makespan %d",
+				pe, r.PEs[pe].Times, got, r.Makespan)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (*metrics.Run, error) {
+		m := newTestMachine(t, 16)
+		for pe := packet.PE(0); pe < 16; pe++ {
+			pe := pe
+			for th := 0; th < 3; th++ {
+				m.SpawnAt(pe, "w", packet.Word(th), func(tc *TC) {
+					mate := pe ^ 5
+					for k := 0; k < 8; k++ {
+						tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(int(tc.Arg())*8 + k)})
+						tc.Compute(sim.Time(7 + k))
+					}
+				})
+			}
+		}
+		return m.Run()
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.SimEvents != b.SimEvents {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d events",
+			a.Makespan, a.SimEvents, b.Makespan, b.SimEvents)
+	}
+	for pe := range a.PEs {
+		if a.PEs[pe].Times != b.PEs[pe].Times {
+			t.Fatalf("PE%d times differ across identical runs", pe)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m := newTestMachine(t, 8)
+	h := 4
+	b := m.NewBarrier("iter", h)
+	maxBefore := make([]sim.Time, 8)
+	minAfter := make([]sim.Time, 8)
+	for pe := packet.PE(0); pe < 8; pe++ {
+		pe := pe
+		for th := 0; th < h; th++ {
+			th := th
+			m.SpawnAt(pe, "w", 0, func(tc *TC) {
+				// Skew arrival times heavily.
+				tc.Compute(sim.Time(10 + 50*int(pe) + 13*th))
+				if now := tc.Now(); now > maxBefore[pe] {
+					maxBefore[pe] = now
+				}
+				tc.Barrier(b)
+				if minAfter[pe] == 0 || tc.Now() < minAfter[pe] {
+					minAfter[pe] = tc.Now()
+				}
+			})
+		}
+	}
+	mustRun(t, m)
+	// No thread may pass the barrier before every thread arrived.
+	var globalMaxBefore sim.Time
+	for _, v := range maxBefore {
+		if v > globalMaxBefore {
+			globalMaxBefore = v
+		}
+	}
+	for pe, after := range minAfter {
+		if after < globalMaxBefore {
+			t.Fatalf("PE%d passed barrier at %d before last arrival %d", pe, after, globalMaxBefore)
+		}
+	}
+	for pe := packet.PE(0); pe < 8; pe++ {
+		if b.Episodes(pe) != 1 {
+			t.Fatalf("PE%d episodes = %d", pe, b.Episodes(pe))
+		}
+	}
+}
+
+func TestBarrierRepeatedEpisodes(t *testing.T) {
+	m := newTestMachine(t, 4)
+	h, iters := 3, 5
+	b := m.NewBarrier("iter", h)
+	counts := make([][]int, 4)
+	for pe := range counts {
+		counts[pe] = make([]int, iters+1)
+	}
+	for pe := packet.PE(0); pe < 4; pe++ {
+		pe := pe
+		for th := 0; th < h; th++ {
+			th := th
+			m.SpawnAt(pe, "w", 0, func(tc *TC) {
+				for it := 0; it < iters; it++ {
+					tc.Compute(sim.Time(5 + 11*th + 3*int(pe) + it))
+					tc.Barrier(b)
+					// After episode it, all PEs must have episode count > it.
+					for q := packet.PE(0); q < 4; q++ {
+						if b.Episodes(q) < uint64(it) {
+							t.Errorf("iteration %d: PE%d lagging at %d", it, q, b.Episodes(q))
+						}
+					}
+					counts[pe][it]++
+				}
+			})
+		}
+	}
+	r := mustRun(t, m)
+	for pe := range counts {
+		for it := 0; it < iters; it++ {
+			if counts[pe][it] != h {
+				t.Fatalf("PE%d iteration %d: %d arrivals", pe, it, counts[pe][it])
+			}
+		}
+	}
+	if got := r.PEs[0].Switches[metrics.SwitchIterSync]; got == 0 {
+		t.Fatal("no iteration-sync switches recorded")
+	}
+}
+
+func TestBarrierSingleThreadSinglePE(t *testing.T) {
+	m := newTestMachine(t, 1)
+	b := m.NewBarrier("solo", 1)
+	m.SpawnAt(0, "w", 0, func(tc *TC) {
+		for i := 0; i < 3; i++ {
+			tc.Barrier(b)
+		}
+	})
+	mustRun(t, m)
+	if b.Episodes(0) != 3 {
+		t.Fatalf("episodes = %d", b.Episodes(0))
+	}
+}
+
+func TestIterSyncSwitchesGrowWithThreads(t *testing.T) {
+	// Figure 9: iteration-sync switches grow with h for a fixed tiny
+	// per-iteration workload.
+	run := func(h int) float64 {
+		m := newTestMachine(t, 4)
+		b := m.NewBarrier("iter", h)
+		for pe := packet.PE(0); pe < 4; pe++ {
+			for th := 0; th < h; th++ {
+				th := th
+				m.SpawnAt(pe, "w", 0, func(tc *TC) {
+					for it := 0; it < 4; it++ {
+						tc.Compute(sim.Time(10 + th))
+						tc.Barrier(b)
+					}
+				})
+			}
+		}
+		r := mustRun(t, m)
+		return r.MeanSwitches(metrics.SwitchIterSync)
+	}
+	s2, s8 := run(2), run(8)
+	if s8 <= s2 {
+		t.Fatalf("iter-sync switches did not grow: h=2: %v, h=8: %v", s2, s8)
+	}
+}
+
+func TestServiceEXUModeStealsCycles(t *testing.T) {
+	// Ablation: EM-4-style servicing must consume target-EXU cycles and
+	// slow down a busy target.
+	run := func(mode int) (*metrics.Run, sim.Time) {
+		cfg := DefaultConfig(4)
+		cfg.MemWords = 1 << 12
+		cfg.MaxCycles = 1_000_000
+		if mode == 1 {
+			cfg.Proc.Mode = 1 // ServiceEXU
+		}
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// PE1 computes; PE0 bombards it with reads.
+		m.SpawnAt(1, "victim", 0, func(tc *TC) {
+			for i := 0; i < 50; i++ {
+				tc.Compute(10)
+			}
+		})
+		m.SpawnAt(0, "reader", 0, func(tc *TC) {
+			for i := 0; i < 50; i++ {
+				tc.Read(packet.GlobalAddr{PE: 1, Off: uint32(i)})
+			}
+		})
+		r := mustRun(t, m)
+		return r, r.Makespan
+	}
+	rBypass, _ := run(0)
+	rEXU, _ := run(1)
+	if rBypass.PEs[1].ServicedDMA != 50 || rBypass.PEs[1].ServicedEXU != 0 {
+		t.Fatalf("bypass counters: %+v", rBypass.PEs[1])
+	}
+	if rEXU.PEs[1].ServicedEXU != 50 {
+		t.Fatalf("EXU-mode serviced %d", rEXU.PEs[1].ServicedEXU)
+	}
+	if rEXU.PEs[1].Times.Overhead <= rBypass.PEs[1].Times.Overhead {
+		t.Fatal("EXU servicing did not charge the victim's EXU")
+	}
+}
+
+func TestWorkloadPanicSurfaces(t *testing.T) {
+	m := newTestMachine(t, 2)
+	m.SpawnAt(0, "bad", 0, func(tc *TC) {
+		tc.Compute(5)
+		panic("boom")
+	})
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := newTestMachine(t, 2)
+	b := m.NewBarrier("never", 2) // two threads expected, only one arrives
+	m.SpawnAt(0, "lonely", 0, func(tc *TC) {
+		tc.Barrier(b)
+	})
+	_, err := m.Run()
+	if err == nil {
+		t.Fatal("livelocked barrier not detected")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	m := newTestMachine(t, 2)
+	m.SpawnAt(0, "w", 0, func(tc *TC) { tc.Compute(1) })
+	mustRun(t, m)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+func TestExplicitYieldRoundRobin(t *testing.T) {
+	m := newTestMachine(t, 1)
+	var order []int
+	for th := 0; th < 3; th++ {
+		th := th
+		m.SpawnAt(0, "y", 0, func(tc *TC) {
+			for i := 0; i < 3; i++ {
+				order = append(order, th)
+				tc.Yield(metrics.SwitchExplicit)
+			}
+		})
+	}
+	r := mustRun(t, m)
+	// FIFO scheduling: threads cycle 0,1,2,0,1,2,...
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if got := r.PEs[0].Switches[metrics.SwitchExplicit]; got != 9 {
+		t.Fatalf("explicit switches = %d, want 9", got)
+	}
+}
+
+func TestFIFOReplyResumption(t *testing.T) {
+	// Figure 4 semantics: a reply arriving while another thread runs does
+	// not preempt it; the suspended thread resumes only when the EXU
+	// dequeues its reply packet.
+	m := newTestMachine(t, 4)
+	var events []string
+	m.SpawnAt(0, "reader", 0, func(tc *TC) {
+		events = append(events, "issue")
+		tc.Read(packet.GlobalAddr{PE: 2, Off: 0})
+		events = append(events, "resumed")
+	})
+	m.SpawnAt(0, "cruncher", 0, func(tc *TC) {
+		events = append(events, "crunch-start")
+		tc.Compute(500) // far longer than the read round trip
+		events = append(events, "crunch-end")
+	})
+	mustRun(t, m)
+	want := []string{"issue", "crunch-start", "crunch-end", "resumed"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("non-FIFO resumption: %v", events)
+		}
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemWords = 1 << 10
+	cfg.MaxCycles = 1000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SpawnAt(0, "spinner", 0, func(tc *TC) {
+		tc.SpinUntil(metrics.SwitchExplicit, func() bool { return false })
+	})
+	if _, err := m.Run(); err == nil {
+		t.Fatal("runaway spin not aborted")
+	}
+}
+
+func TestManyThreadsSpillAccounting(t *testing.T) {
+	m := newTestMachine(t, 1)
+	h := 24 // far beyond the 8-packet on-chip FIFO
+	for th := 0; th < h; th++ {
+		m.SpawnAt(0, "w", 0, func(tc *TC) {
+			for i := 0; i < 3; i++ {
+				tc.Yield(metrics.SwitchExplicit)
+			}
+		})
+	}
+	r := mustRun(t, m)
+	if r.PEs[0].Spills == 0 {
+		t.Fatal("no queue spills recorded with 24 queued threads")
+	}
+}
+
+func TestWaitSetBlocksAndWakes(t *testing.T) {
+	m := newTestMachine(t, 1)
+	ws := m.NewWaitSet()
+	flag := false
+	var order []string
+	m.SpawnAt(0, "waiter", 0, func(tc *TC) {
+		order = append(order, "wait-start")
+		tc.WaitUntil(metrics.SwitchExplicit, ws, func() bool { return flag })
+		order = append(order, "woken")
+	})
+	m.SpawnAt(0, "setter", 0, func(tc *TC) {
+		tc.Compute(200)
+		flag = true
+		ws.Notify()
+		order = append(order, "set")
+	})
+	r := mustRun(t, m)
+	want := []string{"wait-start", "set", "woken"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v", order)
+	}
+	// Exactly one explicit switch for the single block.
+	if got := r.PEs[0].Switches[metrics.SwitchExplicit]; got != 1 {
+		t.Fatalf("switches = %d, want 1 (blocking, not spinning)", got)
+	}
+	if ws.Waiting() != 0 {
+		t.Fatalf("%d waiters left", ws.Waiting())
+	}
+}
+
+func TestWaitSetImmediateConditionDoesNotBlock(t *testing.T) {
+	m := newTestMachine(t, 1)
+	ws := m.NewWaitSet()
+	m.SpawnAt(0, "w", 0, func(tc *TC) {
+		tc.WaitUntil(metrics.SwitchIterSync, ws, func() bool { return true })
+	})
+	r := mustRun(t, m)
+	if got := r.PEs[0].Switches[metrics.SwitchIterSync]; got != 0 {
+		t.Fatalf("switches = %d, want 0 for an already-true condition", got)
+	}
+}
+
+func TestBlockedWaitIdleTimeIsComm(t *testing.T) {
+	// A thread blocked with an empty queue leaves the EXU idle: the wait
+	// must be accounted as communication time (the paper's semantics for
+	// synchronization stalls).
+	m := newTestMachine(t, 2)
+	ws := m.NewWaitSet()
+	released := false
+	m.SpawnAt(0, "blocked", 0, func(tc *TC) {
+		tc.WaitUntil(metrics.SwitchIterSync, ws, func() bool { return released })
+	})
+	m.SpawnAt(1, "releaser", 0, func(tc *TC) {
+		tc.Compute(5000)
+		released = true
+		ws.Notify()
+	})
+	r := mustRun(t, m)
+	if got := r.PEs[0].Times.Comm; got < 4000 {
+		t.Fatalf("blocked wait charged %d comm cycles, want ~5000", got)
+	}
+}
+
+func TestWaitSetDeadlockDetected(t *testing.T) {
+	m := newTestMachine(t, 1)
+	ws := m.NewWaitSet()
+	m.SpawnAt(0, "stuck", 0, func(tc *TC) {
+		tc.WaitUntil(metrics.SwitchIterSync, ws, func() bool { return false })
+	})
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestPrototype80PEMachine(t *testing.T) {
+	// The full 80-PE prototype: every PE reads from a mate across the
+	// machine and the barrier synchronizes all of them.
+	cfg := DefaultConfig(80)
+	cfg.MemWords = 1 << 12
+	cfg.MaxCycles = 50_000_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.NewBarrier("iter", 2)
+	var reads int
+	for pe := packet.PE(0); pe < 80; pe++ {
+		pe := pe
+		for th := 0; th < 2; th++ {
+			m.SpawnAt(pe, "w", 0, func(tc *TC) {
+				mate := (pe + 40) % 80
+				for it := 0; it < 3; it++ {
+					tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(it)})
+					tc.Compute(20)
+					tc.Barrier(b)
+				}
+				reads += 3
+			})
+		}
+	}
+	r := mustRun(t, m)
+	if reads != 80*2*3 {
+		t.Fatalf("reads = %d", reads)
+	}
+	for pe := packet.PE(0); pe < 80; pe++ {
+		if b.Episodes(pe) != 3 {
+			t.Fatalf("PE%d episodes = %d", pe, b.Episodes(pe))
+		}
+	}
+	for pe := range r.PEs {
+		if r.PEs[pe].Times.Total() != r.Makespan {
+			t.Fatalf("PE%d breakdown does not close", pe)
+		}
+	}
+}
+
+func TestBarrierNonPowerOfTwoP(t *testing.T) {
+	// Dissemination needs ceil(log2(P)) rounds; P=5 requires 3.
+	cfg := DefaultConfig(5)
+	cfg.MemWords = 1 << 10
+	cfg.MaxCycles = 10_000_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.NewBarrier("iter", 1)
+	after := make([]sim.Time, 5)
+	var maxArrive sim.Time
+	for pe := packet.PE(0); pe < 5; pe++ {
+		pe := pe
+		m.SpawnAt(pe, "w", 0, func(tc *TC) {
+			tc.Compute(sim.Time(100 * (int(pe) + 1)))
+			if tc.Now() > maxArrive {
+				maxArrive = tc.Now()
+			}
+			tc.Barrier(b)
+			after[pe] = tc.Now()
+		})
+	}
+	mustRun(t, m)
+	for pe, at := range after {
+		if at < maxArrive {
+			t.Fatalf("PE%d released at %d before last arrival %d", pe, at, maxArrive)
+		}
+	}
+}

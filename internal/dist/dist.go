@@ -1,0 +1,38 @@
+// Package dist provides the block/thread work-partitioning arithmetic
+// shared by the workloads: splitting a PE's block of length bl among h
+// threads as evenly as possible (the first bl mod h threads get one extra
+// element), and the inverse lookup from element index to owning thread.
+package dist
+
+import "fmt"
+
+// Chunk returns the half-open index range [lo, hi) of thread th when a
+// block of bl elements is divided among h threads. Threads with th >= bl
+// receive empty ranges.
+func Chunk(bl, h, th int) (lo, hi int) {
+	if h <= 0 || th < 0 || th >= h {
+		panic(fmt.Sprintf("dist: Chunk(bl=%d, h=%d, th=%d)", bl, h, th))
+	}
+	q, r := bl/h, bl%h
+	if th < r {
+		lo = th * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo = r*(q+1) + (th-r)*q
+	return lo, lo + q
+}
+
+// ChunkOf returns the thread whose chunk contains element index i.
+func ChunkOf(bl, h, i int) int {
+	if h <= 0 || i < 0 || i >= bl {
+		panic(fmt.Sprintf("dist: ChunkOf(bl=%d, h=%d, i=%d)", bl, h, i))
+	}
+	q, r := bl/h, bl%h
+	if q == 0 {
+		return i // one element per thread for the first bl threads
+	}
+	if i < r*(q+1) {
+		return i / (q + 1)
+	}
+	return r + (i-r*(q+1))/q
+}

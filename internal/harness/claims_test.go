@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"testing"
+
+	"emx/internal/metrics"
+)
+
+// TestPaperClaims is the reproduction's acceptance test: the paper's
+// headline results, asserted on one small sweep per workload.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	sweep := func(w Workload) *SweepResult {
+		res, err := Sweep{
+			Workload:   w,
+			P:          16,
+			PaperSizes: []int{512 * K},
+			Scale:      256, // 2K simulated elements
+			Threads:    []int{1, 2, 4, 8, 16},
+			Seed:       1,
+		}.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sort := sweep(Bitonic)
+	fft := sweep(FFT)
+
+	comm := func(r *SweepResult, h int) float64 {
+		return r.Runs[0][r.ThreadIndex(h)].MeanCommTime()
+	}
+	eff := func(r *SweepResult, h int) float64 {
+		return metrics.Efficiency(r.Runs[0][0], r.Runs[0][r.ThreadIndex(h)])
+	}
+
+	// Claim 1 (Fig 6): communication time is minimal at 2-4 threads —
+	// multithreading cuts it sharply vs h=1 for both problems.
+	for _, r := range []*SweepResult{sort, fft} {
+		if comm(r, 4) >= comm(r, 1)/2 {
+			t.Errorf("%v: no comm valley: h1=%v h4=%v", r.Workload, comm(r, 1), comm(r, 4))
+		}
+	}
+
+	// Claim 2 (Fig 7): FFT overlaps the vast majority of its communication
+	// at 2-4 threads; sorting overlaps substantially less — it lacks
+	// thread computation parallelism (the paper reports >95% vs ~35%).
+	if e := eff(fft, 4); e < 90 {
+		t.Errorf("FFT overlap at h=4 = %.1f%%, want >90%%", e)
+	}
+	if es, ef := eff(sort, 4), eff(fft, 4); es >= ef {
+		t.Errorf("sorting overlap (%.1f%%) not below FFT (%.1f%%)", es, ef)
+	}
+	if e := eff(sort, 4); e < 35 {
+		t.Errorf("sorting overlap at h=4 = %.1f%%, want over 35%% (the paper's bound)", e)
+	}
+
+	// Claim 3: sorting's absolute communication time exceeds FFT's at the
+	// optimum ("sorting has much higher communication time than FFT").
+	if comm(sort, 4) <= comm(fft, 4) {
+		t.Errorf("sorting comm (%v) not above FFT comm (%v) at h=4", comm(sort, 4), comm(fft, 4))
+	}
+
+	// Claim 4 (Fig 9): thread synchronization exists for sorting and not
+	// for FFT ("no thread synchronization is required for FFT").
+	if got := sort.Runs[0][sort.ThreadIndex(4)].MeanSwitches(metrics.SwitchThreadSync); got == 0 {
+		t.Error("sorting shows no thread-sync switches at h=4")
+	}
+	if got := fft.Runs[0][fft.ThreadIndex(4)].MeanSwitches(metrics.SwitchThreadSync); got != 0 {
+		t.Errorf("FFT shows %v thread-sync switches", got)
+	}
+
+	// Claim 5 (Fig 9): remote-read switches are one per remote read and,
+	// for FFT, exactly 2 * n/P * log2(P) regardless of h.
+	for _, h := range []int{1, 4, 16} {
+		run := fft.Runs[0][fft.ThreadIndex(h)]
+		bl := fft.SimSize(512*K) / 16
+		want := float64(2 * bl * 4) // log2(16) = 4
+		if got := run.MeanSwitches(metrics.SwitchRemoteRead); got != want {
+			t.Errorf("FFT h=%d remote-read switches = %v, want %v", h, got, want)
+		}
+	}
+
+	// Claim 6 (Fig 9): iteration-sync switches grow with the thread count.
+	for _, r := range []*SweepResult{sort, fft} {
+		lo := r.Runs[0][r.ThreadIndex(2)].MeanSwitches(metrics.SwitchIterSync)
+		hi := r.Runs[0][r.ThreadIndex(16)].MeanSwitches(metrics.SwitchIterSync)
+		if hi <= lo {
+			t.Errorf("%v: iter-sync switches flat: h2=%v h16=%v", r.Workload, lo, hi)
+		}
+	}
+
+	// Claim 7 (Fig 8): sorting is communication-heavy at h=1 — comm is the
+	// same order as computation (at report scale, scale 512 and below, it
+	// exceeds computation; at this test's tiny size the one-off local sort
+	// weighs relatively more), and FFT is compute-dominated.
+	sb := sort.Runs[0][0].TotalBreakdown()
+	if float64(sb.Comm) < 0.6*float64(sb.Compute) {
+		t.Errorf("sorting h=1 not comm-heavy: %+v", sb)
+	}
+	fb := fft.Runs[0][fft.ThreadIndex(4)].TotalBreakdown()
+	if fb.Compute <= fb.Comm+fb.Switch {
+		t.Errorf("FFT h=4 not compute-dominated: %+v", fb)
+	}
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+
+	"emx/internal/metrics"
+)
+
+// Figure is one panel of the paper's evaluation: named series over the
+// thread-count x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	X      []int
+	Series []Series
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Fig6 builds a Figure 6 panel from a sweep: absolute communication time
+// (simulated seconds, log scale) vs number of threads, one series per
+// data size. Expected shape: a valley at 2-4 threads, deeper for FFT.
+func Fig6(res *SweepResult) Figure {
+	f := Figure{
+		ID:     fmt.Sprintf("fig6-%s-P%d", res.Workload, res.P),
+		Title:  fmt.Sprintf("Communication time: %s, P=%d", res.Workload, res.P),
+		XLabel: "threads",
+		YLabel: "comm time (s, simulated)",
+		LogY:   true,
+		X:      res.Threads,
+	}
+	for si, paperN := range res.PaperSizes {
+		ser := Series{Label: "n=" + SizeLabel(paperN)}
+		for hi := range res.Threads {
+			run := res.Runs[si][hi]
+			cycles := run.MeanCommTime()
+			ser.Y = append(ser.Y, simSeconds(cycles))
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f
+}
+
+// Fig7 builds a Figure 7 panel: overlapping efficiency
+// E = (Tcomm,1 - Tcomm,h)/Tcomm,1 in percent. The sweep must include
+// h=1 (the baseline). Expected shape: ~35% plateau for sorting, >95%
+// peak at 2-4 threads for FFT.
+func Fig7(res *SweepResult) (Figure, error) {
+	baseIdx := res.ThreadIndex(1)
+	if baseIdx < 0 {
+		return Figure{}, fmt.Errorf("harness: Fig7 needs h=1 in the sweep")
+	}
+	f := Figure{
+		ID:     fmt.Sprintf("fig7-%s-P%d", res.Workload, res.P),
+		Title:  fmt.Sprintf("Efficiency of overlapping: %s, P=%d", res.Workload, res.P),
+		XLabel: "threads",
+		YLabel: "overlap efficiency (%)",
+		X:      res.Threads,
+	}
+	for si, paperN := range res.PaperSizes {
+		base := res.Runs[si][baseIdx]
+		ser := Series{Label: "n=" + SizeLabel(paperN)}
+		for hi := range res.Threads {
+			ser.Y = append(ser.Y, metrics.Efficiency(base, res.Runs[si][hi]))
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f, nil
+}
+
+// Fig8 builds a Figure 8 panel for one size: the distribution of
+// execution time into computation, overhead, communication and switching
+// (percent, stacked bottom-up in the paper's order).
+func Fig8(res *SweepResult, paperN int) (Figure, error) {
+	si := res.SizeIndex(paperN)
+	if si < 0 {
+		return Figure{}, fmt.Errorf("harness: size %d not in sweep", paperN)
+	}
+	f := Figure{
+		ID:     fmt.Sprintf("fig8-%s-P%d-n%s", res.Workload, res.P, SizeLabel(paperN)),
+		Title:  fmt.Sprintf("Execution time distribution: %s, P=%d, n=%s", res.Workload, res.P, SizeLabel(paperN)),
+		XLabel: "threads",
+		YLabel: "share of execution time (%)",
+		X:      res.Threads,
+	}
+	comps := []Series{
+		{Label: "computation"},
+		{Label: "overhead"},
+		{Label: "communication"},
+		{Label: "switch"},
+	}
+	for hi := range res.Threads {
+		b := res.Runs[si][hi].TotalBreakdown()
+		c, o, m, s := b.Fractions()
+		comps[0].Y = append(comps[0].Y, 100*c)
+		comps[1].Y = append(comps[1].Y, 100*o)
+		comps[2].Y = append(comps[2].Y, 100*m)
+		comps[3].Y = append(comps[3].Y, 100*s)
+	}
+	f.Series = comps
+	return f, nil
+}
+
+// Fig9 builds a Figure 9 panel for one size: average per-PE context
+// switch counts by type (log scale). Expected shape: remote-read switches
+// flat and dominant; iteration-sync growing with h and approaching the
+// remote-read curve for small sizes; a visible thread-sync curve for
+// sorting and a low one for FFT.
+func Fig9(res *SweepResult, paperN int) (Figure, error) {
+	si := res.SizeIndex(paperN)
+	if si < 0 {
+		return Figure{}, fmt.Errorf("harness: size %d not in sweep", paperN)
+	}
+	f := Figure{
+		ID:     fmt.Sprintf("fig9-%s-P%d-n%s", res.Workload, res.P, SizeLabel(paperN)),
+		Title:  fmt.Sprintf("Switches per PE: %s, P=%d, n=%s", res.Workload, res.P, SizeLabel(paperN)),
+		XLabel: "threads",
+		YLabel: "switches per PE",
+		LogY:   true,
+		X:      res.Threads,
+	}
+	kinds := []metrics.SwitchKind{
+		metrics.SwitchRemoteRead, metrics.SwitchIterSync, metrics.SwitchThreadSync,
+	}
+	labels := []string{"remote read switch", "iter sync switch", "thread sync switch"}
+	for i, k := range kinds {
+		ser := Series{Label: labels[i]}
+		for hi := range res.Threads {
+			ser.Y = append(ser.Y, res.Runs[si][hi].MeanSwitches(k))
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f, nil
+}
+
+// CompareSweeps builds an ablation figure contrasting one metric across
+// sweeps that differ in a single knob (service mode, block reads, ...).
+func CompareSweeps(id, title, ylabel string, paperN int, metric func(*metrics.Run) float64, labelled ...LabelledSweep) (Figure, error) {
+	if len(labelled) == 0 {
+		return Figure{}, fmt.Errorf("harness: CompareSweeps with no sweeps")
+	}
+	f := Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "threads",
+		YLabel: ylabel,
+		X:      labelled[0].Result.Threads,
+	}
+	for _, ls := range labelled {
+		si := ls.Result.SizeIndex(paperN)
+		if si < 0 {
+			return Figure{}, fmt.Errorf("harness: size %d not in sweep %q", paperN, ls.Label)
+		}
+		ser := Series{Label: ls.Label}
+		for hi := range ls.Result.Threads {
+			ser.Y = append(ser.Y, metric(ls.Result.Runs[si][hi]))
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f, nil
+}
+
+// LabelledSweep pairs a sweep result with a display label.
+type LabelledSweep struct {
+	Label  string
+	Result *SweepResult
+}
+
+// CommSeconds is a CompareSweeps metric: mean per-PE communication time.
+func CommSeconds(r *metrics.Run) float64 { return simSeconds(r.MeanCommTime()) }
+
+// MakespanSeconds is a CompareSweeps metric: total execution time.
+func MakespanSeconds(r *metrics.Run) float64 { return float64(r.Makespan) * 50e-9 }
+
+func simSeconds(cycles float64) float64 { return cycles * 50e-9 }

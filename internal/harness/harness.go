@@ -1,0 +1,269 @@
+// Package harness runs the paper's experiments: parameter sweeps over
+// workload, machine size, problem size, and thread count, executed in
+// parallel across host cores (each point is an independent deterministic
+// simulation), and turns the measurements into the series behind the
+// paper's Figures 6-9 plus the ablation studies.
+//
+// Problem sizes are geometry-preserving scale-downs of the paper's (see
+// DESIGN.md): a sweep carries both the paper-equivalent label (e.g. "8M")
+// and the simulated size. The curve shapes depend on the per-thread chunk
+// size relative to latency and run length, which the scaling preserves.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"emx/internal/apps/bitonic"
+	"emx/internal/apps/fft"
+	"emx/internal/apps/spmv"
+	"emx/internal/core"
+	"emx/internal/metrics"
+	"emx/internal/proc"
+	"emx/internal/sim"
+	"emx/internal/thread"
+)
+
+// Workload selects the application under measurement.
+type Workload uint8
+
+const (
+	// Bitonic is multithreaded bitonic sorting (Section 3.1).
+	Bitonic Workload = iota
+	// FFT is the multithreaded Fast Fourier Transform (Section 3.2).
+	FFT
+	// SpMV is the irregular sparse matrix-vector workload (the paper's
+	// conclusion's proposed target; extension X-irr).
+	SpMV
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Bitonic:
+		return "bitonic"
+	case FFT:
+		return "fft"
+	case SpMV:
+		return "spmv"
+	}
+	return "workload(?)"
+}
+
+// K and M are the element-count units of the paper's size labels.
+const (
+	K = 1 << 10
+	M = 1 << 20
+)
+
+// DefaultScale divides the paper's problem sizes for simulation. 512
+// keeps the largest point (8M) at 16K simulated elements — minutes of
+// host time for a full figure on one core.
+const DefaultScale = 512
+
+// DefaultThreads is the x-axis of every figure: the paper sweeps 1-16
+// threads per processor.
+var DefaultThreads = []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+
+// DefaultSizes returns the paper's data sizes for a machine size:
+// 128K-2M elements for P=16 (Figure 6a/6c) and 512K-8M for P=64
+// (Figure 6b/6d), largest first as in the paper's legends.
+func DefaultSizes(p int) []int {
+	if p <= 16 {
+		return []int{2 * M, 1 * M, 512 * K, 256 * K, 128 * K}
+	}
+	return []int{8 * M, 4 * M, 2 * M, 1 * M, 512 * K}
+}
+
+// SizeLabel formats an element count the way the paper's legends do.
+func SizeLabel(n int) string {
+	switch {
+	case n >= M:
+		return fmt.Sprintf("%gM", float64(n)/M)
+	case n >= K:
+		return fmt.Sprintf("%gK", float64(n)/K)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// PointSpec is one simulation to run.
+type PointSpec struct {
+	Workload  Workload
+	P         int
+	SimN      int // elements actually simulated
+	PaperN    int // paper-equivalent size this point stands for
+	H         int
+	Mode      proc.ServiceMode
+	BlockRead bool // bitonic only: block-read ablation
+	ReplyHigh bool // resume-first scheduling: replies use the high-priority FIFO
+	Seed      int64
+	Verify    bool // run the workload's self-check (off in sweeps)
+}
+
+// RunPoint executes one simulation point.
+func RunPoint(ps PointSpec) (*metrics.Run, error) {
+	cfg := core.DefaultConfig(ps.P)
+	cfg.Proc.Mode = ps.Mode
+	if ps.ReplyHigh {
+		cfg.Proc.ReplyPrio = thread.High
+	}
+	cfg.MaxCycles = sim.Time(1) << 40
+	var (
+		run *metrics.Run
+		err error
+	)
+	switch ps.Workload {
+	case Bitonic:
+		run, err = bitonic.Run(cfg, bitonic.Params{
+			N: ps.SimN, H: ps.H, UseBlockRead: ps.BlockRead,
+			Seed: ps.Seed, SkipVerify: !ps.Verify,
+		})
+	case FFT:
+		// Verification needs the full transform (AllStages); measurement
+		// runs use only the first log2(P) iterations, as the paper does.
+		run, err = fft.Run(cfg, fft.Params{
+			N: ps.SimN, H: ps.H, Seed: ps.Seed,
+			AllStages: ps.Verify, SkipVerify: !ps.Verify,
+		})
+	case SpMV:
+		run, err = spmv.Run(cfg, spmv.Params{
+			N: ps.SimN, H: ps.H, Iterations: 2,
+			Seed: ps.Seed, SkipVerify: !ps.Verify,
+		})
+	default:
+		return nil, fmt.Errorf("harness: unknown workload %d", ps.Workload)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: %v P=%d N=%d H=%d: %w", ps.Workload, ps.P, ps.SimN, ps.H, err)
+	}
+	run.PaperN = ps.PaperN
+	return run, nil
+}
+
+// Sweep describes a (size x thread-count) grid for one workload and
+// machine size — the raw material of one Figure 6/7 panel and, at
+// selected sizes, the Figure 8/9 panels.
+type Sweep struct {
+	Workload   Workload
+	P          int
+	PaperSizes []int
+	Scale      int
+	Threads    []int
+	Mode       proc.ServiceMode
+	BlockRead  bool
+	ReplyHigh  bool
+	Seed       int64
+}
+
+// SweepResult holds the grid of runs: Runs[sizeIdx][threadIdx].
+type SweepResult struct {
+	Sweep
+	Runs [][]*metrics.Run
+}
+
+// SimSize returns the simulated element count for a paper size, clamped
+// so every PE keeps at least max(Threads) elements.
+func (s Sweep) SimSize(paperN int) int {
+	n := paperN / s.Scale
+	if n < 1 {
+		n = 1
+	}
+	minN := s.P
+	for _, h := range s.Threads {
+		if s.P*h > minN {
+			minN = s.P * h
+		}
+	}
+	for n < minN {
+		n *= 2
+	}
+	return n
+}
+
+// Run executes the sweep with the given number of parallel workers
+// (<=0 means GOMAXPROCS). Each grid point is an independent
+// deterministic simulation, so results do not depend on scheduling.
+func (s Sweep) Run(workers int) (*SweepResult, error) {
+	if s.Scale <= 0 {
+		s.Scale = DefaultScale
+	}
+	if len(s.Threads) == 0 {
+		s.Threads = DefaultThreads
+	}
+	if len(s.PaperSizes) == 0 {
+		s.PaperSizes = DefaultSizes(s.P)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &SweepResult{Sweep: s, Runs: make([][]*metrics.Run, len(s.PaperSizes))}
+	for i := range res.Runs {
+		res.Runs[i] = make([]*metrics.Run, len(s.Threads))
+	}
+
+	type job struct{ si, hi int }
+	jobs := make(chan job)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				paperN := s.PaperSizes[j.si]
+				run, err := RunPoint(PointSpec{
+					Workload:  s.Workload,
+					P:         s.P,
+					SimN:      s.SimSize(paperN),
+					PaperN:    paperN,
+					H:         s.Threads[j.hi],
+					Mode:      s.Mode,
+					BlockRead: s.BlockRead,
+					ReplyHigh: s.ReplyHigh,
+					Seed:      s.Seed,
+				})
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					continue
+				}
+				res.Runs[j.si][j.hi] = run
+			}
+		}(w)
+	}
+	for si := range s.PaperSizes {
+		for hi := range s.Threads {
+			jobs <- job{si, hi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ThreadIndex returns the position of thread count h, or -1.
+func (r *SweepResult) ThreadIndex(h int) int {
+	for i, t := range r.Threads {
+		if t == h {
+			return i
+		}
+	}
+	return -1
+}
+
+// SizeIndex returns the position of the paper size n, or -1.
+func (r *SweepResult) SizeIndex(paperN int) int {
+	for i, n := range r.PaperSizes {
+		if n == paperN {
+			return i
+		}
+	}
+	return -1
+}

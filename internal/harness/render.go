@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders the figure as an aligned text table: one row per series,
+// one column per thread count.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]\n", f.Title, f.ID)
+	fmt.Fprintf(&b, "y: %s\n", f.YLabel)
+	wLabel := len("series")
+	for _, s := range f.Series {
+		if len(s.Label) > wLabel {
+			wLabel = len(s.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", wLabel+2, "h =")
+	for _, x := range f.X {
+		fmt.Fprintf(&b, "%12d", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-*s", wLabel+2, s.Label)
+		for _, y := range s.Y {
+			fmt.Fprintf(&b, "%12s", formatY(y))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatY(y float64) string {
+	ay := math.Abs(y)
+	switch {
+	case y == 0:
+		return "0"
+	case ay >= 1e5 || ay < 1e-3:
+		return fmt.Sprintf("%.3e", y)
+	case ay >= 100:
+		return fmt.Sprintf("%.1f", y)
+	default:
+		return fmt.Sprintf("%.4g", y)
+	}
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, x := range f.X {
+		fmt.Fprintf(&b, ",h=%d", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		b.WriteString(csvEscape(s.Label))
+		for _, y := range s.Y {
+			fmt.Fprintf(&b, ",%g", y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Chart renders an ASCII line chart of the figure, height rows tall.
+// Each series is drawn with a distinct marker; the y-axis is log-scaled
+// when the figure says so.
+func (f Figure) Chart(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	markers := "ox+*#@%&"
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			v, ok := f.scaleY(y)
+			if !ok {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return f.Title + ": no data\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := len(f.X)
+	colW := 4
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width*colW))
+	}
+	for si, s := range f.Series {
+		mk := markers[si%len(markers)]
+		for xi, y := range s.Y {
+			v, ok := f.scaleY(y)
+			if !ok {
+				continue
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			grid[row][xi*colW+colW/2] = mk
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]  (y: %s%s)\n", f.Title, f.ID, f.YLabel, logNote(f.LogY))
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = leftPad(formatY(f.unscaleY(hi)), 8)
+		} else if r == height-1 {
+			label = leftPad(formatY(f.unscaleY(lo)), 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	b.WriteString("         +" + strings.Repeat("-", width*colW) + "\n          ")
+	for _, x := range f.X {
+		fmt.Fprintf(&b, "%-*d", colW, x)
+	}
+	b.WriteByte('\n')
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+func (f Figure) scaleY(y float64) (float64, bool) {
+	if f.LogY {
+		if y <= 0 {
+			return 0, false
+		}
+		return math.Log10(y), true
+	}
+	return y, true
+}
+
+func (f Figure) unscaleY(v float64) float64 {
+	if f.LogY {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func logNote(log bool) string {
+	if log {
+		return ", log scale"
+	}
+	return ""
+}
+
+func leftPad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

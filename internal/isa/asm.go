@@ -1,0 +1,340 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates EMC-Y assembly text into a Program. Syntax:
+//
+//	; comment (also #)
+//	label:
+//	    li   r1, 100          ; 32-bit immediates, decimal or 0x hex
+//	    addi r2, r1, -4
+//	    add  r3, r1, r2
+//	    ld   r4, 8(r3)        ; local load, base+displacement
+//	    st   r4, 0(r3)
+//	    gaddr r5, r6, r7      ; pack PE r6 + offset r7 into r5
+//	    rread r8, r5          ; split-phase remote read (suspends)
+//	    rreadb r9, r5, r10    ; block read: r10 words from gaddr r5 to local mem[r9]
+//	    rwrite r5, r8         ; remote write (does not suspend)
+//	    spawn r6, entry, r8   ; invoke 'entry' on PE r6 with argument r8
+//	    beq  r1, r2, done
+//	    j    loop
+//	    yield
+//	done:
+//	    halt
+//
+// Registers are r0..r31 or the aliases zero, arg, pe, npe.
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name, Labels: map[string]int{}}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Peel off any leading labels (several may share a line).
+		for {
+			trimmed := strings.TrimSpace(line)
+			if i := strings.Index(trimmed, ":"); i >= 0 && isIdent(trimmed[:i]) {
+				label := trimmed[:i]
+				if _, dup := p.Labels[label]; dup {
+					return nil, fmt.Errorf("%s:%d: duplicate label %q", name, ln+1, label)
+				}
+				p.Labels[label] = len(p.Code)
+				line = trimmed[i+1:]
+				continue
+			}
+			break
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ins, err := parseInstr(line, ln+1)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+		p.Code = append(p.Code, ins)
+	}
+	// Resolve labels.
+	for i := range p.Code {
+		ins := &p.Code[i]
+		if ins.Label == "" {
+			continue
+		}
+		target, ok := p.Labels[ins.Label]
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: undefined label %q", name, ins.Line, ins.Label)
+		}
+		ins.Imm = int64(target)
+	}
+	if len(p.Code) == 0 {
+		return nil, fmt.Errorf("%s: empty program", name)
+	}
+	return p, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regAliases = map[string]Reg{
+	"zero": RZero, "arg": RArg, "pe": RPE, "npe": RNPE,
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v > 1<<32 || v < -(1<<31) {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "disp(rBase)".
+func parseMem(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	disp := int64(0)
+	if ds := strings.TrimSpace(s[:open]); ds != "" {
+		var err error
+		disp, err = parseImm(ds)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, disp, nil
+}
+
+var mnemonics = func() map[string]Op {
+	m := make(map[string]Op, nOps)
+	for o := Op(0); o < nOps; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func parseInstr(line string, ln int) (Instr, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(strings.TrimSpace(fields[0]))
+	op, ok := mnemonics[mn]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	var args []string
+	if len(fields) > 1 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	ins := Instr{Op: op, Line: ln}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case OpNop, OpYield, OpHalt:
+		return ins, need(0)
+
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSlt,
+		OpFadd, OpFsub, OpFmul, OpFdiv, OpGaddr:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseWritable(args[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs, err = parseReg(args[1]); err != nil {
+			return ins, err
+		}
+		ins.Rt, err = parseReg(args[2])
+		return ins, err
+
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSlti:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseWritable(args[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs, err = parseReg(args[1]); err != nil {
+			return ins, err
+		}
+		ins.Imm, err = parseImm(args[2])
+		return ins, err
+
+	case OpLi:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseWritable(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Imm, err = parseImm(args[1])
+		return ins, err
+
+	case OpItof, OpFtoi:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseWritable(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Rs, err = parseReg(args[1])
+		return ins, err
+
+	case OpLd:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseWritable(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Rs, ins.Imm, err = parseMem(args[1])
+		return ins, err
+
+	case OpSt:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rt, err = parseReg(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Rs, ins.Imm, err = parseMem(args[1])
+		return ins, err
+
+	case OpBeq, OpBne, OpBlt, OpBge:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rt, err = parseReg(args[1]); err != nil {
+			return ins, err
+		}
+		ins.Label = args[2]
+		if !isIdent(ins.Label) {
+			return ins, fmt.Errorf("bad branch target %q", ins.Label)
+		}
+		return ins, nil
+
+	case OpJ:
+		if err = need(1); err != nil {
+			return ins, err
+		}
+		ins.Label = args[0]
+		if !isIdent(ins.Label) {
+			return ins, fmt.Errorf("bad jump target %q", ins.Label)
+		}
+		return ins, nil
+
+	case OpRRead:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseWritable(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Rs, err = parseReg(args[1])
+		return ins, err
+
+	case OpRReadB:
+		// rreadb rDest, rGaddr, rCount: rDest holds the local word offset
+		// the block lands at; rCount the number of words.
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, err
+		}
+		if ins.Rs, err = parseReg(args[1]); err != nil {
+			return ins, err
+		}
+		ins.Rt, err = parseReg(args[2])
+		return ins, err
+
+	case OpRWrite:
+		if err = need(2); err != nil {
+			return ins, err
+		}
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Rt, err = parseReg(args[1])
+		return ins, err
+
+	case OpSpawn:
+		if err = need(3); err != nil {
+			return ins, err
+		}
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, err
+		}
+		ins.Label = args[1]
+		if !isIdent(ins.Label) {
+			return ins, fmt.Errorf("bad spawn entry %q", ins.Label)
+		}
+		ins.Rt, err = parseReg(args[2])
+		return ins, err
+	}
+	return ins, fmt.Errorf("unhandled mnemonic %q", mn)
+}
+
+func parseWritable(s string) (Reg, error) {
+	r, err := parseReg(s)
+	if err != nil {
+		return 0, err
+	}
+	if r == RZero || r >= RArg {
+		return 0, fmt.Errorf("register %q is read-only", s)
+	}
+	return r, nil
+}

@@ -1,0 +1,200 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+
+	"emx/internal/core"
+	"emx/internal/metrics"
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+// DefaultMaxSteps bounds interpreted instructions per thread, catching
+// runaway programs before they exhaust the machine's cycle budget.
+const DefaultMaxSteps = 50_000_000
+
+// Thread returns a core.ThreadFn interpreting prog from the given entry
+// label. The invoke argument appears in register RArg.
+func Thread(prog *Program, entry string) (core.ThreadFn, error) {
+	pc, err := prog.Entry(entry)
+	if err != nil {
+		return nil, err
+	}
+	return func(tc *core.TC) { interpret(tc, prog, pc, DefaultMaxSteps) }, nil
+}
+
+// Spawn seeds an interpreted thread on a machine before Run.
+func Spawn(m *core.Machine, pe packet.PE, prog *Program, entry string, arg packet.Word) error {
+	fn, err := Thread(prog, entry)
+	if err != nil {
+		return err
+	}
+	m.SpawnAt(pe, prog.Name+":"+entry, arg, fn)
+	return nil
+}
+
+// interpret executes the program on the simulated thread. Instruction
+// cycles accumulate into a pending charge that is flushed (as one
+// Compute run length) before every suspension point, exactly matching
+// the run-length structure the hardware sees.
+func interpret(tc *core.TC, prog *Program, pc int, maxSteps int) {
+	var regs [NRegs]packet.Word
+	regs[RArg] = tc.Arg()
+	regs[RPE] = packet.Word(tc.PE())
+	regs[RNPE] = packet.Word(tc.P())
+
+	var pending sim.Time
+	flush := func() {
+		if pending > 0 {
+			tc.Compute(pending)
+			pending = 0
+		}
+	}
+	wr := func(r Reg, v packet.Word) {
+		if r != RZero && r < RArg {
+			regs[r] = v
+		}
+	}
+	f32 := func(r Reg) float64 { return float64(math.Float32frombits(uint32(regs[r]))) }
+	wf32 := func(r Reg, v float64) { wr(r, packet.Word(math.Float32bits(float32(v)))) }
+
+	for steps := 0; ; steps++ {
+		if steps >= maxSteps {
+			panic(fmt.Sprintf("isa: %s exceeded %d steps (runaway program?)", prog.Name, maxSteps))
+		}
+		if pc < 0 || pc >= len(prog.Code) {
+			panic(fmt.Sprintf("isa: %s: pc %d out of range", prog.Name, pc))
+		}
+		ins := prog.Code[pc]
+		pending += ins.Op.Cycles()
+		pc++
+		switch ins.Op {
+		case OpNop:
+		case OpAdd:
+			wr(ins.Rd, regs[ins.Rs]+regs[ins.Rt])
+		case OpSub:
+			wr(ins.Rd, regs[ins.Rs]-regs[ins.Rt])
+		case OpMul:
+			wr(ins.Rd, regs[ins.Rs]*regs[ins.Rt])
+		case OpAnd:
+			wr(ins.Rd, regs[ins.Rs]&regs[ins.Rt])
+		case OpOr:
+			wr(ins.Rd, regs[ins.Rs]|regs[ins.Rt])
+		case OpXor:
+			wr(ins.Rd, regs[ins.Rs]^regs[ins.Rt])
+		case OpSll:
+			wr(ins.Rd, regs[ins.Rs]<<(regs[ins.Rt]&31))
+		case OpSrl:
+			wr(ins.Rd, regs[ins.Rs]>>(regs[ins.Rt]&31))
+		case OpSlt:
+			wr(ins.Rd, boolWord(int32(regs[ins.Rs]) < int32(regs[ins.Rt])))
+		case OpAddi:
+			wr(ins.Rd, regs[ins.Rs]+packet.Word(uint32(ins.Imm)))
+		case OpMuli:
+			wr(ins.Rd, regs[ins.Rs]*packet.Word(uint32(ins.Imm)))
+		case OpAndi:
+			wr(ins.Rd, regs[ins.Rs]&packet.Word(uint32(ins.Imm)))
+		case OpOri:
+			wr(ins.Rd, regs[ins.Rs]|packet.Word(uint32(ins.Imm)))
+		case OpXori:
+			wr(ins.Rd, regs[ins.Rs]^packet.Word(uint32(ins.Imm)))
+		case OpSlli:
+			wr(ins.Rd, regs[ins.Rs]<<(uint32(ins.Imm)&31))
+		case OpSrli:
+			wr(ins.Rd, regs[ins.Rs]>>(uint32(ins.Imm)&31))
+		case OpSlti:
+			wr(ins.Rd, boolWord(int32(regs[ins.Rs]) < int32(uint32(ins.Imm))))
+		case OpLi:
+			wr(ins.Rd, packet.Word(uint32(ins.Imm)))
+		case OpLd:
+			// The MCU access charged by LocalLoad *is* the instruction's
+			// cost; remove the decode-time estimate to avoid double charge.
+			pending -= ins.Op.Cycles()
+			flush()
+			wr(ins.Rd, tc.LocalLoad(uint32(regs[ins.Rs])+uint32(ins.Imm)))
+		case OpSt:
+			pending -= ins.Op.Cycles()
+			flush()
+			tc.LocalStore(uint32(regs[ins.Rs])+uint32(ins.Imm), regs[ins.Rt])
+		case OpBeq:
+			if regs[ins.Rs] == regs[ins.Rt] {
+				pc = int(ins.Imm)
+			}
+		case OpBne:
+			if regs[ins.Rs] != regs[ins.Rt] {
+				pc = int(ins.Imm)
+			}
+		case OpBlt:
+			if int32(regs[ins.Rs]) < int32(regs[ins.Rt]) {
+				pc = int(ins.Imm)
+			}
+		case OpBge:
+			if int32(regs[ins.Rs]) >= int32(regs[ins.Rt]) {
+				pc = int(ins.Imm)
+			}
+		case OpJ:
+			pc = int(ins.Imm)
+		case OpFadd:
+			wf32(ins.Rd, f32(ins.Rs)+f32(ins.Rt))
+		case OpFsub:
+			wf32(ins.Rd, f32(ins.Rs)-f32(ins.Rt))
+		case OpFmul:
+			wf32(ins.Rd, f32(ins.Rs)*f32(ins.Rt))
+		case OpFdiv:
+			wf32(ins.Rd, f32(ins.Rs)/f32(ins.Rt))
+		case OpItof:
+			wf32(ins.Rd, float64(int32(regs[ins.Rs])))
+		case OpFtoi:
+			wr(ins.Rd, packet.Word(uint32(int32(f32(ins.Rs)))))
+		case OpGaddr:
+			ga := packet.GlobalAddr{PE: packet.PE(regs[ins.Rs]), Off: uint32(regs[ins.Rt])}
+			if !ga.Valid() {
+				panic(fmt.Sprintf("isa: %s:%d: invalid global address %v", prog.Name, ins.Line, ga))
+			}
+			wr(ins.Rd, ga.Pack())
+		case OpRRead:
+			flush()
+			wr(ins.Rd, tc.Read(packet.UnpackAddr(regs[ins.Rs])))
+		case OpRReadB:
+			flush()
+			count := int(uint32(regs[ins.Rt]))
+			if count <= 0 || count > 1<<16 {
+				panic(fmt.Sprintf("isa: %s:%d: block read of %d words", prog.Name, ins.Line, count))
+			}
+			words := tc.ReadBlock(packet.UnpackAddr(regs[ins.Rs]), count)
+			base := uint32(regs[ins.Rd])
+			for i, w := range words {
+				// Storing the streamed block costs the MCU rate per word.
+				tc.LocalStore(base+uint32(i), w)
+			}
+		case OpRWrite:
+			flush()
+			tc.Write(packet.UnpackAddr(regs[ins.Rs]), regs[ins.Rt])
+		case OpSpawn:
+			flush()
+			entryPC := int(ins.Imm)
+			arg := regs[ins.Rt]
+			pe := packet.PE(regs[ins.Rs])
+			tc.Spawn(pe, fmt.Sprintf("%s+%d", prog.Name, entryPC), arg, func(tc2 *core.TC) {
+				interpret(tc2, prog, entryPC, maxSteps)
+			})
+		case OpYield:
+			flush()
+			tc.Yield(metrics.SwitchExplicit)
+		case OpHalt:
+			pending -= ins.Op.Cycles() // halt itself is free
+			flush()
+			return
+		default:
+			panic(fmt.Sprintf("isa: %s:%d: unimplemented op %v", prog.Name, ins.Line, ins.Op))
+		}
+	}
+}
+
+func boolWord(b bool) packet.Word {
+	if b {
+		return 1
+	}
+	return 0
+}

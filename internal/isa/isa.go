@@ -1,0 +1,160 @@
+// Package isa implements an EMC-Y-style instruction set, a two-pass
+// assembler, and an interpreter that executes assembled programs as
+// threads on the simulated EM-X.
+//
+// The EMC-Y is a register-based RISC pipeline: 32 registers, one-cycle
+// integer and single-precision float instructions (float divide excepted),
+// one-cycle packet generation, and dedicated send instructions for remote
+// reads, remote writes and thread invocation. This package models that
+// programmer-visible architecture — instructions are kept as structured
+// values rather than binary words; the encoding itself is out of scope.
+//
+// The interpreter charges one cycle per instruction (more for loads,
+// stores and fdiv), batching the charge into the enclosing thread's run
+// length so that the simulation cost stays proportional to the number of
+// *suspension points*, not instructions. Remote reads suspend the thread
+// exactly like the hardware's split-phase transaction.
+package isa
+
+import (
+	"fmt"
+
+	"emx/internal/sim"
+)
+
+// Reg is a register number 0..31. r0 is hardwired to zero; r29-r31 are
+// read-only identity registers (argument, PE number, machine size).
+type Reg uint8
+
+// Named registers.
+const (
+	RZero Reg = 0  // always zero
+	RArg  Reg = 29 // invoke argument
+	RPE   Reg = 30 // own processor number
+	RNPE  Reg = 31 // number of processors
+	NRegs     = 32
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	OpNop Op = iota
+	// ALU register-register: rd = rs OP rt.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSlt // rd = (int32(rs) < int32(rt)) ? 1 : 0
+	// ALU register-immediate: rd = rs OP imm.
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSlti
+	// OpLi loads a 32-bit immediate: rd = imm.
+	OpLi
+	// Local memory (2 cycles through the MCU): rd = mem[rs+imm] / mem[rs+imm] = rt.
+	OpLd
+	OpSt
+	// Branches compare rs, rt and jump to Imm (resolved label).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	// OpJ jumps unconditionally.
+	OpJ
+	// Single-precision float (registers hold float32 bit patterns).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv // multi-cycle
+	OpItof
+	OpFtoi
+	// OpGaddr packs a global address: rd = gaddr(pe=rs, off=rt).
+	OpGaddr
+	// Send instructions (one-cycle packet generation) — the EMC-Y's four
+	// packet-generating instructions: single read, block read, write,
+	// and thread invocation.
+	OpRRead  // rd = remote word at gaddr in rs; suspends the thread
+	OpRReadB // block read: rt words from gaddr in rs into local mem at rd
+	OpRWrite // remote store rt at gaddr in rs; does not suspend
+	OpSpawn  // invoke entry Imm on PE rs with argument rt
+	// OpYield is the explicit context switch.
+	OpYield
+	// OpHalt ends the thread.
+	OpHalt
+	nOps
+)
+
+var opNames = [nOps]string{
+	"nop", "add", "sub", "mul", "and", "or", "xor", "sll", "srl", "slt",
+	"addi", "muli", "andi", "ori", "xori", "slli", "srli", "slti",
+	"li", "ld", "st", "beq", "bne", "blt", "bge", "j",
+	"fadd", "fsub", "fmul", "fdiv", "itof", "ftoi",
+	"gaddr", "rread", "rreadb", "rwrite", "spawn", "yield", "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cycles returns the EXU occupancy of the instruction. All integer and
+// single-precision float instructions take one clock on the EMC-Y except
+// float division and the memory exchange path (here: loads and stores
+// through the MCU).
+func (o Op) Cycles() sim.Time {
+	switch o {
+	case OpLd, OpSt:
+		return 2
+	case OpFdiv:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt Reg
+	Imm        int64 // immediate, branch/jump target, or spawn entry index
+	// Label is the unresolved symbol for branches/jumps/spawns; the
+	// assembler resolves it into Imm.
+	Label string
+	// Line is the 1-based source line, for error reporting.
+	Line int
+}
+
+func (i Instr) String() string {
+	if i.Label != "" {
+		return fmt.Sprintf("%s r%d, r%d, %s", i.Op, i.Rd, i.Rs, i.Label)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Rt, i.Imm)
+}
+
+// Program is an assembled unit: instructions plus the symbol table.
+type Program struct {
+	Name   string
+	Code   []Instr
+	Labels map[string]int
+}
+
+// Entry returns the instruction index of a label.
+func (p *Program) Entry(label string) (int, error) {
+	pc, ok := p.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("isa: program %q has no label %q", p.Name, label)
+	}
+	return pc, nil
+}

@@ -1,0 +1,122 @@
+// Package memory models the EMC-Y local memory system: 4 MB of one-level
+// static RAM per processor behind a Memory Control Unit (MCU) that
+// arbitrates between the Execution Unit and the IBU by-passing DMA.
+package memory
+
+import (
+	"fmt"
+
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+// DefaultWords is the simulated local memory size in 32-bit words. The real
+// EMC-Y has 1 Mi words (4 MB); simulations may size memory to the workload.
+const DefaultWords = 1 << 20
+
+// AccessCycles is the MCU service time for one word access. Static RAM on
+// the EMC-Y completes a word access in two processor cycles through the MCU.
+const AccessCycles sim.Time = 2
+
+// Port identifies which unit is requesting the MCU.
+type Port uint8
+
+const (
+	// PortEXU is the execution unit's load/store port.
+	PortEXU Port = iota
+	// PortDMA is the IBU by-passing DMA port used to service remote
+	// read/write requests without interrupting the EXU.
+	PortDMA
+)
+
+// Local is one PE's memory: a word array plus an MCU arbiter. The zero
+// value is unusable; create with New.
+type Local struct {
+	pe    packet.PE
+	words []packet.Word
+	mcu   sim.Resource
+
+	// Reads and Writes count word accesses by port.
+	Reads  [2]uint64
+	Writes [2]uint64
+}
+
+// New allocates a local memory of n words for the given PE.
+func New(pe packet.PE, n int) *Local {
+	if n <= 0 {
+		n = DefaultWords
+	}
+	return &Local{pe: pe, words: make([]packet.Word, n)}
+}
+
+// Size returns the memory size in words.
+func (m *Local) Size() int { return len(m.words) }
+
+// PE returns the owning processor number.
+func (m *Local) PE() packet.PE { return m.pe }
+
+func (m *Local) check(off uint32, n int) {
+	if int(off) >= len(m.words) || int(off)+n > len(m.words) {
+		panic(fmt.Sprintf("memory: PE%d access [%#x,%#x) out of range (size %#x words)",
+			m.pe, off, int(off)+n, len(m.words)))
+	}
+}
+
+// Read performs an MCU-arbitrated single-word read at time now and returns
+// the value and the completion time.
+func (m *Local) Read(now sim.Time, port Port, off uint32) (packet.Word, sim.Time) {
+	m.check(off, 1)
+	m.Reads[port]++
+	done := m.mcu.Acquire(now, AccessCycles)
+	return m.words[off], done
+}
+
+// Write performs an MCU-arbitrated single-word write and returns its
+// completion time.
+func (m *Local) Write(now sim.Time, port Port, off uint32, w packet.Word) sim.Time {
+	m.check(off, 1)
+	m.Writes[port]++
+	m.words[off] = w
+	return m.mcu.Acquire(now, AccessCycles)
+}
+
+// ReadBlock reads n consecutive words starting at off, pipelined through
+// the MCU (AccessCycles per word), returning the data and completion time.
+func (m *Local) ReadBlock(now sim.Time, port Port, off uint32, n int) ([]packet.Word, sim.Time) {
+	m.check(off, n)
+	m.Reads[port] += uint64(n)
+	done := m.mcu.Acquire(now, AccessCycles*sim.Time(n))
+	out := make([]packet.Word, n)
+	copy(out, m.words[off:int(off)+n])
+	return out, done
+}
+
+// MCUBusy returns total cycles the MCU has been occupied.
+func (m *Local) MCUBusy() sim.Time { return m.mcu.Busy }
+
+// Peek reads a word with no simulated cost. For workload setup and result
+// verification outside simulated time.
+func (m *Local) Peek(off uint32) packet.Word {
+	m.check(off, 1)
+	return m.words[off]
+}
+
+// Poke writes a word with no simulated cost (setup/verification only).
+func (m *Local) Poke(off uint32, w packet.Word) {
+	m.check(off, 1)
+	m.words[off] = w
+}
+
+// PeekBlock copies n words starting at off with no simulated cost.
+func (m *Local) PeekBlock(off uint32, n int) []packet.Word {
+	m.check(off, n)
+	out := make([]packet.Word, n)
+	copy(out, m.words[off:int(off)+n])
+	return out
+}
+
+// PokeBlock stores the words starting at off with no simulated cost.
+func (m *Local) PokeBlock(off uint32, ws []packet.Word) {
+	m.check(off, len(ws))
+	copy(m.words[off:int(off)+len(ws)], ws)
+}

@@ -1,0 +1,171 @@
+// Package network models the EM-X interconnect: a circular Omega network
+// built from the Switching Units of the PEs themselves. Every node is a
+// 3x3 crossbar switch (two network input ports, two network output ports,
+// one processor port) attached to one PE; links follow the perfect-shuffle
+// permutation, and destination-tag routing delivers any packet in exactly
+// log2(P) link hops.
+//
+// Timing follows the paper's description of the EMC-Y Switching Unit:
+//
+//   - virtual cut-through: the head of a packet moves one hop per cycle, so
+//     a packet reaches a processor k hops away in k+1 cycles when unloaded;
+//   - each port transfers one two-word packet every second cycle, so an
+//     output port is occupied for 2 cycles per packet (throughput), while
+//     the head is forwarded after 1 cycle (latency);
+//   - ports are FIFO, which enforces the message non-overtaking rule.
+package network
+
+import (
+	"fmt"
+	"math/bits"
+
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+// HopCycles is the per-hop head latency under virtual cut-through routing.
+const HopCycles sim.Time = 1
+
+// PortCycles is the output-port occupancy per two-word packet
+// (one word per clock, every second cycle per the paper).
+const PortCycles sim.Time = 2
+
+// DeliverFunc receives a packet at its destination PE (the IBU input).
+type DeliverFunc func(p *packet.Packet)
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Sent       uint64   // packets injected
+	Delivered  uint64   // packets handed to destination PEs
+	Hops       uint64   // total link hops traversed
+	QueueDelay sim.Time // total cycles packets waited for busy ports
+	LocalShort uint64   // self-addressed packets short-circuited OBU->IBU
+}
+
+// Network is the circular Omega interconnect for P processors. P may be
+// any size >= 2: the switch fabric is built over the next power of two
+// (the 80-PE prototype routes through a 128-node shuffle, with the excess
+// nodes acting as pure switch stages), and packets originate and
+// terminate only at the P real PEs.
+type Network struct {
+	eng   *sim.Engine
+	p     int // attached processors
+	nodes int // switch nodes: next power of two >= p
+	l     int // log2(nodes): route length in hops
+	mask  int
+
+	// ports[v][b] is node v's network output port b (shuffle links).
+	ports [][2]sim.Resource
+	// eject[v] is node v's processor port toward its PE/IBU.
+	eject   []sim.Resource
+	deliver []DeliverFunc
+
+	Stats Stats
+}
+
+// New builds the network for p PEs on the given engine.
+func New(eng *sim.Engine, p int) (*Network, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("network: need at least 2 PEs, got %d", p)
+	}
+	nodes := 1 << uint(bits.Len(uint(p-1)))
+	return &Network{
+		eng:     eng,
+		p:       p,
+		nodes:   nodes,
+		l:       bits.Len(uint(nodes)) - 1,
+		mask:    nodes - 1,
+		ports:   make([][2]sim.Resource, nodes),
+		eject:   make([]sim.Resource, p),
+		deliver: make([]DeliverFunc, p),
+	}, nil
+}
+
+// P returns the number of processors.
+func (n *Network) P() int { return n.p }
+
+// RouteHops returns the number of link hops between src and dst: 0 for a
+// self-send (short-circuited inside the SU) and log2(P) otherwise, the
+// fixed route length of destination-tag routing on the shuffle network.
+func (n *Network) RouteHops(src, dst packet.PE) int {
+	if src == dst {
+		return 0
+	}
+	return n.l
+}
+
+// SetDeliver installs the destination callback (the PE's IBU) for a node.
+func (n *Network) SetDeliver(pe packet.PE, fn DeliverFunc) {
+	n.deliver[pe] = fn
+}
+
+// Send injects a packet at its source node at the current simulated time.
+// The packet is eventually handed to the destination's DeliverFunc.
+func (n *Network) Send(p *packet.Packet) {
+	dst := p.Dst()
+	if int(dst) >= n.p || dst < 0 {
+		panic(fmt.Sprintf("network: packet to PE%d on a %d-PE machine", dst, n.p))
+	}
+	if int(p.Src) >= n.p || p.Src < 0 {
+		panic(fmt.Sprintf("network: packet from PE%d on a %d-PE machine", p.Src, n.p))
+	}
+	n.Stats.Sent++
+	if p.Src == dst {
+		// The SU short-circuits self-addressed packets from the OBU to the
+		// IBU through the crossbar processor port: one cycle, no links.
+		n.Stats.LocalShort++
+		n.eng.After(0, func() { n.arriveDst(p) })
+		return
+	}
+	n.hop(p, int(p.Src), n.l)
+}
+
+// hop forwards the packet from node v with hopsLeft route bits remaining.
+func (n *Network) hop(p *packet.Packet, v, hopsLeft int) {
+	now := n.eng.Now()
+	dst := int(p.Dst())
+	bit := (dst >> (hopsLeft - 1)) & 1
+	next := ((v << 1) | bit) & n.mask
+
+	port := &n.ports[v][bit]
+	start := now
+	if f := port.FreeAt(); f > start {
+		start = f
+		n.Stats.QueueDelay += start - now
+	}
+	port.Acquire(start, PortCycles)
+	n.Stats.Hops++
+
+	headAt := start + HopCycles
+	if hopsLeft == 1 {
+		n.eng.At(headAt, func() { n.arriveDst(p) })
+		return
+	}
+	n.eng.At(headAt, func() { n.hop(p, next, hopsLeft-1) })
+}
+
+// arriveDst moves the packet through the destination switch's processor
+// port into the PE.
+func (n *Network) arriveDst(p *packet.Packet) {
+	now := n.eng.Now()
+	dst := p.Dst()
+	port := &n.eject[dst]
+	start := now
+	if f := port.FreeAt(); f > start {
+		start = f
+		n.Stats.QueueDelay += start - now
+	}
+	port.Acquire(start, PortCycles)
+	n.eng.At(start+HopCycles, func() {
+		n.Stats.Delivered++
+		if fn := n.deliver[dst]; fn != nil {
+			fn(p)
+		}
+	})
+}
+
+// UnloadedLatency returns the cycles from injection to delivery on an idle
+// network: k hops + 1 ejection cycle for remote sends, 1 for self-sends.
+func (n *Network) UnloadedLatency(src, dst packet.PE) sim.Time {
+	return sim.Time(n.RouteHops(src, dst))*HopCycles + HopCycles
+}

@@ -1,0 +1,243 @@
+// Package proc models the packet-side units of the EMC-Y processing
+// element: the Input Buffer Unit (IBU), Output Buffer Unit (OBU), and the
+// by-passing DMA path between them and the Memory Control Unit.
+//
+// The defining EM-X feature lives here: remote read and write requests
+// arriving from the network are serviced by the IBU through the by-passing
+// DMA and sent back out through the OBU *without consuming Execution Unit
+// cycles*. The predecessor EM-4 instead ran a one-instruction servicing
+// thread on the EXU for every request; that mode is kept as
+// ServiceEXU for the ablation experiment.
+package proc
+
+import (
+	"fmt"
+
+	"emx/internal/memory"
+	"emx/internal/metrics"
+	"emx/internal/packet"
+	"emx/internal/sim"
+	"emx/internal/thread"
+)
+
+// ServiceMode selects how arriving remote-memory requests are serviced.
+type ServiceMode uint8
+
+const (
+	// ServiceBypass is the EM-X by-passing DMA: IBU+OBU+MCU, zero EXU cycles.
+	ServiceBypass ServiceMode = iota
+	// ServiceEXU is the EM-4 behaviour: each request becomes a high-priority
+	// one-instruction thread that steals EXU cycles.
+	ServiceEXU
+)
+
+func (m ServiceMode) String() string {
+	if m == ServiceBypass {
+		return "bypass"
+	}
+	return "exu"
+}
+
+// Config holds the packet-unit timing parameters (cycles).
+type Config struct {
+	// IBUServiceCycles is the IBU's fixed per-request handling time before
+	// the DMA memory access starts.
+	IBUServiceCycles sim.Time
+	// OBUCycles is the output buffer occupancy per packet (one two-word
+	// packet every second cycle).
+	OBUCycles sim.Time
+	// SpillCycles is the extra MCU cost to spill or restore one queue
+	// packet to/from the on-memory buffer.
+	SpillCycles sim.Time
+	// Mode selects by-passing DMA or EM-4-style EXU servicing.
+	Mode ServiceMode
+	// ReplyPrio selects the IBU buffer level for read replies. The EM-X
+	// default is plain FIFO (thread.Low, replies queue behind everything);
+	// thread.High implements the "resume-first" scheduling policy the
+	// paper's conclusion proposes to explore — replies overtake queued
+	// and spinning threads (ablation X-sched).
+	ReplyPrio thread.Prio
+}
+
+// DefaultConfig matches the EMC-Y description in the paper.
+func DefaultConfig() Config {
+	return Config{
+		IBUServiceCycles: 2,
+		OBUCycles:        2,
+		SpillCycles:      4,
+		Mode:             ServiceBypass,
+		ReplyPrio:        thread.Low,
+	}
+}
+
+// Proc is one PE's packet machinery. The Execution Unit itself lives in
+// package core (it must resume workload coroutines); Proc exposes the
+// queue the EXU dispatches from and the OBU it sends through.
+type Proc struct {
+	eng *sim.Engine
+	pe  packet.PE
+	cfg Config
+
+	Mem    *memory.Local
+	Queue  thread.Queue
+	Frames *thread.Frames
+
+	ibu sim.Resource
+	obu sim.Resource
+
+	sendNet func(*packet.Packet)
+	wake    func()
+
+	// Stats points at the PE's metrics record (owned by the machine).
+	Stats *metrics.PE
+}
+
+// New creates the packet units for one PE. sendNet injects a packet into
+// the network at the current engine time.
+func New(eng *sim.Engine, pe packet.PE, memWords int, cfg Config,
+	stats *metrics.PE, sendNet func(*packet.Packet)) *Proc {
+	return &Proc{
+		eng:     eng,
+		pe:      pe,
+		cfg:     cfg,
+		Mem:     memory.New(pe, memWords),
+		Frames:  thread.NewFrames(),
+		sendNet: sendNet,
+		Stats:   stats,
+	}
+}
+
+// PE returns the processor number.
+func (p *Proc) PE() packet.PE { return p.pe }
+
+// Config returns the unit timing configuration.
+func (p *Proc) Config() Config { return p.cfg }
+
+// SetWake installs the EXU's wake callback, invoked whenever a packet
+// becomes available for dispatch.
+func (p *Proc) SetWake(fn func()) { p.wake = fn }
+
+// Inject sends an EXU- or IBU-generated packet out through the OBU. The
+// OBU is a FIFO pipelined at one packet per OBUCycles; the packet enters
+// the network when its OBU slot completes.
+func (p *Proc) Inject(pkt *packet.Packet) {
+	done := p.obu.Acquire(p.eng.Now(), p.cfg.OBUCycles)
+	p.eng.At(done, func() { p.sendNet(pkt) })
+}
+
+// PushLocal enqueues a packet directly into the thread queue (used for
+// local thread rescheduling and initial program load) and wakes the EXU.
+func (p *Proc) PushLocal(prio thread.Prio, pkt *packet.Packet) {
+	if p.Queue.Push(prio, pkt) {
+		p.Stats.Spills++
+	}
+	if p.wake != nil {
+		p.wake()
+	}
+}
+
+// Deliver is the network's callback: a packet has arrived at this PE's
+// IBU. Requests take the service path; replies, invocations and sync
+// tokens are queued for the Matching Unit / EXU.
+func (p *Proc) Deliver(pkt *packet.Packet) {
+	switch pkt.Kind {
+	case packet.KindReadReq, packet.KindBlockReadReq, packet.KindWrite:
+		if p.cfg.Mode == ServiceBypass {
+			p.serviceBypass(pkt)
+		} else {
+			// EM-4 mode: the request becomes a high-priority servicing
+			// thread competing for the EXU.
+			p.PushLocal(thread.High, pkt)
+		}
+	case packet.KindReadReply:
+		p.PushLocal(p.cfg.ReplyPrio, pkt)
+	case packet.KindInvoke, packet.KindSync:
+		p.PushLocal(thread.Low, pkt)
+	default:
+		panic(fmt.Sprintf("proc: PE%d cannot deliver %v", p.pe, pkt))
+	}
+}
+
+// serviceBypass handles a remote memory request entirely inside the
+// IBU/OBU/MCU path. No EXU cycles are charged — this is the EM-X
+// by-passing mechanism.
+func (p *Proc) serviceBypass(pkt *packet.Packet) {
+	now := p.eng.Now()
+	grant := p.ibu.Acquire(now, p.cfg.IBUServiceCycles)
+	p.Stats.ServicedDMA++
+	switch pkt.Kind {
+	case packet.KindWrite:
+		p.eng.At(grant, func() {
+			p.Mem.Write(p.eng.Now(), memory.PortDMA, pkt.Addr.Off, pkt.Data)
+		})
+	case packet.KindReadReq:
+		p.eng.At(grant, func() {
+			v, done := p.Mem.Read(p.eng.Now(), memory.PortDMA, pkt.Addr.Off)
+			reply := &packet.Packet{
+				Kind: packet.KindReadReply,
+				Src:  p.pe,
+				Addr: pkt.Addr,
+				Data: v,
+				Cont: pkt.Cont,
+				Seq:  pkt.Seq,
+			}
+			p.eng.At(done, func() { p.Inject(reply) })
+		})
+	case packet.KindBlockReadReq:
+		p.eng.At(grant, func() {
+			words, _ := p.Mem.ReadBlock(p.eng.Now(), memory.PortDMA, pkt.Addr.Off, int(pkt.Block))
+			// Stream one reply per word; the OBU pipelines them at its
+			// port rate, which models the block-transfer burst.
+			for i, w := range words {
+				i, w := uint32(i), w
+				rd := p.eng.Now() + memory.AccessCycles*sim.Time(i+1)
+				p.eng.At(rd, func() {
+					p.Inject(&packet.Packet{
+						Kind: packet.KindReadReply,
+						Src:  p.pe,
+						Addr: pkt.Addr.Add(i),
+						Data: w,
+						Cont: pkt.Cont,
+						Seq:  pkt.Seq,
+					})
+				})
+			}
+		})
+	}
+}
+
+// ServiceOnEXU performs the memory side of a request that was queued in
+// ServiceEXU mode; the core EXU calls it after charging the stolen cycles.
+func (p *Proc) ServiceOnEXU(pkt *packet.Packet) {
+	p.Stats.ServicedEXU++
+	switch pkt.Kind {
+	case packet.KindWrite:
+		p.Mem.Write(p.eng.Now(), memory.PortEXU, pkt.Addr.Off, pkt.Data)
+	case packet.KindReadReq:
+		v, done := p.Mem.Read(p.eng.Now(), memory.PortEXU, pkt.Addr.Off)
+		reply := &packet.Packet{
+			Kind: packet.KindReadReply, Src: p.pe,
+			Addr: pkt.Addr, Data: v, Cont: pkt.Cont, Seq: pkt.Seq,
+		}
+		p.eng.At(done, func() { p.Inject(reply) })
+	case packet.KindBlockReadReq:
+		words, done := p.Mem.ReadBlock(p.eng.Now(), memory.PortEXU, pkt.Addr.Off, int(pkt.Block))
+		for i, w := range words {
+			i, w := uint32(i), w
+			p.eng.At(done, func() {
+				p.Inject(&packet.Packet{
+					Kind: packet.KindReadReply, Src: p.pe,
+					Addr: pkt.Addr.Add(i), Data: w, Cont: pkt.Cont, Seq: pkt.Seq,
+				})
+			})
+		}
+	default:
+		panic(fmt.Sprintf("proc: ServiceOnEXU got %v", pkt))
+	}
+}
+
+// OBUBusy reports the OBU's accumulated occupancy.
+func (p *Proc) OBUBusy() sim.Time { return p.obu.Busy }
+
+// IBUBusy reports the IBU's accumulated occupancy.
+func (p *Proc) IBUBusy() sim.Time { return p.ibu.Busy }

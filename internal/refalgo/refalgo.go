@@ -1,0 +1,164 @@
+// Package refalgo provides sequential reference implementations — serial
+// bitonic sorting, direct DFT, and radix-2 FFT — used as correctness
+// oracles for the distributed multithreaded workloads, plus small
+// verification helpers.
+package refalgo
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// BitonicSort sorts xs in place with the serial Batcher bitonic network.
+// len(xs) must be a power of two.
+func BitonicSort(xs []uint32) {
+	n := len(xs)
+	if n&(n-1) != 0 {
+		panic("refalgo: bitonic sort needs a power-of-two length")
+	}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l > i {
+					up := i&k == 0
+					if (up && xs[i] > xs[l]) || (!up && xs[i] < xs[l]) {
+						xs[i], xs[l] = xs[l], xs[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// IsSorted reports whether xs is non-decreasing.
+func IsSorted(xs []uint32) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPermutation reports whether a and b contain the same multiset.
+func IsPermutation(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := append([]uint32(nil), a...)
+	cb := append([]uint32(nil), b...)
+	sort.Slice(ca, func(i, j int) bool { return ca[i] < ca[j] })
+	sort.Slice(cb, func(i, j int) bool { return cb[i] < cb[j] })
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeKeepLow merges two ascending-sorted slices and returns the lowest
+// len(a) elements, ascending — the compare-split a "low" PE performs.
+func MergeKeepLow(a, b []uint32) []uint32 {
+	out := make([]uint32, len(a))
+	i, j := 0, 0
+	for k := range out {
+		if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+	}
+	return out
+}
+
+// MergeKeepHigh merges two ascending-sorted slices and returns the highest
+// len(a) elements, ascending — the compare-split a "high" PE performs.
+func MergeKeepHigh(a, b []uint32) []uint32 {
+	out := make([]uint32, len(a))
+	i, j := len(a)-1, len(b)-1
+	for k := len(out) - 1; k >= 0; k-- {
+		if j < 0 || (i >= 0 && a[i] >= b[j]) {
+			out[k] = a[i]
+			i--
+		} else {
+			out[k] = b[j]
+			j--
+		}
+	}
+	return out
+}
+
+// DFT computes the direct O(n^2) discrete Fourier transform of x.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// FFT computes the radix-2 decimation-in-frequency FFT of x (power-of-two
+// length) and returns the result in natural order. This is the same
+// butterfly schedule the distributed workload executes: stage s combines
+// elements n/2^(s+1) apart, so the first log2(P) stages are exactly the
+// communication stages of the blocked distribution.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("refalgo: FFT needs a power-of-two length")
+	}
+	out := append([]complex128(nil), x...)
+	for d := n / 2; d >= 1; d /= 2 {
+		for start := 0; start < n; start += 2 * d {
+			for k := 0; k < d; k++ {
+				i, j := start+k, start+k+d
+				a, b := out[i], out[j]
+				ang := -2 * math.Pi * float64(k) / float64(2*d)
+				w := complex(math.Cos(ang), math.Sin(ang))
+				out[i] = a + b
+				out[j] = (a - b) * w
+			}
+		}
+	}
+	bitReverse(out)
+	return out
+}
+
+// bitReverse permutes xs into bit-reversed index order in place.
+func bitReverse(xs []complex128) {
+	n := len(xs)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n <= 1 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest elementwise |a-b|.
+func MaxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		re := real(a[i]) - real(b[i])
+		im := imag(a[i]) - imag(b[i])
+		if d := math.Hypot(re, im); d > m {
+			m = d
+		}
+	}
+	return m
+}

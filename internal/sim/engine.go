@@ -1,0 +1,159 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a cycle-resolution clock (one cycle = 50 ns on the
+// simulated 20 MHz EM-X) and dispatches events in (time, insertion) order,
+// which makes every simulation run bit-for-bit reproducible: components
+// schedule closures and the engine never reorders same-cycle events.
+package sim
+
+// Time is a simulated time stamp measured in processor clock cycles.
+type Time int64
+
+// CycleNS is the duration of one simulated cycle in nanoseconds
+// (EMC-Y runs at 20 MHz).
+const CycleNS = 50
+
+// Seconds converts a cycle count to simulated wall-clock seconds.
+func (t Time) Seconds() float64 { return float64(t) * CycleNS * 1e-9 }
+
+// Micros converts a cycle count to simulated microseconds.
+func (t Time) Micros() float64 { return float64(t) * CycleNS * 1e-3 }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// a simulation runs single-threaded (parallelism in this repository lives
+// one level up, across independent simulations).
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    []event
+	stopped bool
+	nEvents uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events dispatched so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// Pending returns the number of scheduled, not yet dispatched events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it indicates a causality bug in a component model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. d must be >= 0.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// are kept, so a stopped engine can be resumed with another Run call.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until none remain or Stop is called. It returns
+// the time of the last dispatched event.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		ev := e.pop()
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with time <= deadline. If events remain past
+// the deadline the clock is left at the deadline and true is returned;
+// if the heap drains the clock stays at the last dispatched event.
+func (e *Engine) RunUntil(deadline Time) bool {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > deadline {
+			e.now = deadline
+			return true
+		}
+		ev := e.pop()
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	return len(e.heap) > 0
+}
+
+// Step dispatches exactly one event, returning false if none remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.at
+	e.nEvents++
+	ev.fn()
+	return true
+}
+
+// binary min-heap ordered by (at, seq); seq breaks ties so that events
+// scheduled earlier run earlier within a cycle.
+
+func (a event) less(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heap[i].less(e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[last] = event{} // release closure for GC
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && e.heap[l].less(e.heap[small]) {
+			small = l
+		}
+		if r < last && e.heap[r].less(e.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+	return top
+}

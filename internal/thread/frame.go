@@ -1,0 +1,102 @@
+package thread
+
+import (
+	"fmt"
+
+	"emx/internal/packet"
+)
+
+// NoFrame is the parent of root frames.
+const NoFrame uint32 = 0
+
+// Frame is one activation frame in a PE's operand segment. A frame is
+// allocated by the caller when it invokes a thread; input slots receive
+// values from matching packets; register state is saved here across
+// explicit context switches. Frames form a tree (not a stack) following
+// the dynamic calling structure.
+type Frame struct {
+	ID     uint32
+	Parent uint32
+	Name   string
+	// Slots holds values delivered by packets, indexed by input slot.
+	Slots map[uint16]packet.Word
+	// State is owned by the multithreading runtime (it holds the
+	// coroutine handle for the thread bound to this frame).
+	State any
+	// children counts live child frames, for tree invariants.
+	children int
+}
+
+// Frames is a PE's activation-frame store.
+type Frames struct {
+	table map[uint32]*Frame
+	next  uint32
+
+	Allocated uint64
+	Freed     uint64
+	// MaxLive tracks the high-water mark of simultaneously live frames,
+	// i.e. how deep/wide the activation tree grew.
+	MaxLive int
+}
+
+// NewFrames returns an empty frame store.
+func NewFrames() *Frames {
+	return &Frames{table: make(map[uint32]*Frame), next: NoFrame + 1}
+}
+
+// Alloc creates a frame under parent (NoFrame for roots). The parent must
+// be live if given.
+func (fs *Frames) Alloc(parent uint32, name string) *Frame {
+	if parent != NoFrame {
+		p, ok := fs.table[parent]
+		if !ok {
+			panic(fmt.Sprintf("thread: alloc under dead frame %d", parent))
+		}
+		p.children++
+	}
+	f := &Frame{ID: fs.next, Parent: parent, Name: name, Slots: make(map[uint16]packet.Word)}
+	fs.next++
+	fs.table[f.ID] = f
+	fs.Allocated++
+	if live := len(fs.table); live > fs.MaxLive {
+		fs.MaxLive = live
+	}
+	return f
+}
+
+// Get returns the live frame with the given id, or nil.
+func (fs *Frames) Get(id uint32) *Frame { return fs.table[id] }
+
+// Free releases a frame. Freeing a frame with live children panics: the
+// activation tree must be torn down leaf-first.
+func (fs *Frames) Free(id uint32) {
+	f, ok := fs.table[id]
+	if !ok {
+		panic(fmt.Sprintf("thread: double free of frame %d", id))
+	}
+	if f.children != 0 {
+		panic(fmt.Sprintf("thread: free of frame %d with %d live children", id, f.children))
+	}
+	if f.Parent != NoFrame {
+		if p := fs.table[f.Parent]; p != nil {
+			p.children--
+		}
+	}
+	delete(fs.table, id)
+	fs.Freed++
+}
+
+// Live returns the number of live frames.
+func (fs *Frames) Live() int { return len(fs.table) }
+
+// Deposit stores a packet-delivered value into a frame slot.
+func (f *Frame) Deposit(slot uint16, w packet.Word) { f.Slots[slot] = w }
+
+// Take removes and returns a slot value; ok is false if not present.
+func (f *Frame) Take(slot uint16) (packet.Word, bool) {
+	w, ok := f.Slots[slot]
+	if ok {
+		delete(f.Slots, slot)
+	}
+	return w, ok
+}

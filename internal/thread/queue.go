@@ -1,0 +1,103 @@
+// Package thread provides the EMC-Y thread-side hardware structures: the
+// packet queue that implements hardware FIFO thread scheduling (two
+// priority levels of on-chip FIFOs, eight packets each, spilling to local
+// memory when full), and the activation-frame store (frames form a tree
+// reflecting the dynamic calling structure, bounded only by memory).
+package thread
+
+import "emx/internal/packet"
+
+// OnChipCap is the capacity of each on-chip priority FIFO in packets.
+const OnChipCap = 8
+
+// Prio selects one of the IBU's two packet-buffer priority levels.
+type Prio uint8
+
+const (
+	// High priority: serviced before all normal packets (used for
+	// EM-4-style EXU servicing threads in the ablation mode).
+	High Prio = iota
+	// Low priority: normal thread invocations and read replies.
+	Low
+	nPrio
+)
+
+// Queue is the hardware packet queue feeding the Matching Unit. Packets
+// are dispatched in FIFO order within a priority level, High before Low.
+// Pushes beyond the on-chip capacity overflow to an on-memory buffer and
+// are restored to the on-chip FIFO as it drains, preserving order.
+type Queue struct {
+	onchip [nPrio][]*packet.Packet
+	spill  [nPrio][]*packet.Packet
+
+	// Spilled and Restored count overflow round-trips through memory;
+	// each costs extra MCU traffic that the processor model charges.
+	Spilled  uint64
+	Restored uint64
+	// MaxDepth tracks the high-water mark of total queued packets.
+	MaxDepth int
+}
+
+// Len returns the number of queued packets across both priorities.
+func (q *Queue) Len() int {
+	n := 0
+	for p := Prio(0); p < nPrio; p++ {
+		n += len(q.onchip[p]) + len(q.spill[p])
+	}
+	return n
+}
+
+// Empty reports whether no packets are queued.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Push enqueues a packet at the given priority, returning true if it had
+// to spill to the on-memory buffer.
+func (q *Queue) Push(p Prio, pkt *packet.Packet) (spilled bool) {
+	if len(q.onchip[p]) < OnChipCap && len(q.spill[p]) == 0 {
+		q.onchip[p] = append(q.onchip[p], pkt)
+	} else {
+		q.spill[p] = append(q.spill[p], pkt)
+		q.Spilled++
+		spilled = true
+	}
+	if d := q.Len(); d > q.MaxDepth {
+		q.MaxDepth = d
+	}
+	return spilled
+}
+
+// Pop dequeues the next packet: High FIFO first, then Low, FIFO within
+// each. fromSpill reports whether the returned packet had been spilled to
+// memory (the caller charges the restore cost). ok is false when empty.
+func (q *Queue) Pop() (pkt *packet.Packet, prio Prio, fromSpill bool, ok bool) {
+	for p := Prio(0); p < nPrio; p++ {
+		if len(q.onchip[p]) > 0 {
+			pkt = q.onchip[p][0]
+			q.onchip[p][0] = nil
+			q.onchip[p] = q.onchip[p][1:]
+			q.refill(p)
+			return pkt, p, false, true
+		}
+		// On-chip FIFO empty but spill holds packets (can happen only
+		// transiently between refills); serve the spill head directly.
+		if len(q.spill[p]) > 0 {
+			pkt = q.spill[p][0]
+			q.spill[p][0] = nil
+			q.spill[p] = q.spill[p][1:]
+			q.Restored++
+			return pkt, p, true, true
+		}
+	}
+	return nil, 0, false, false
+}
+
+// refill moves spilled packets back into freed on-chip slots, as the IBU
+// does automatically when the FIFO drains.
+func (q *Queue) refill(p Prio) {
+	for len(q.onchip[p]) < OnChipCap && len(q.spill[p]) > 0 {
+		q.onchip[p] = append(q.onchip[p], q.spill[p][0])
+		q.spill[p][0] = nil
+		q.spill[p] = q.spill[p][1:]
+		q.Restored++
+	}
+}

@@ -1,0 +1,186 @@
+// Package trace records thread lifecycle events from a simulation and
+// renders Figure-4/5-style timelines: per-thread bands over time showing
+// running, switching, and suspended phases, exactly the diagrams the
+// paper uses to explain multithreaded bitonic sorting and FFT.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"emx/internal/core"
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+// Recorder accumulates trace events. Install with machine.SetTracer
+// (Recorder.Record) before Run.
+type Recorder struct {
+	Events []core.TraceEvent
+}
+
+// Record appends one event (the core.Machine tracer callback).
+func (r *Recorder) Record(ev core.TraceEvent) { r.Events = append(r.Events, ev) }
+
+// threadKey identifies a thread band.
+type threadKey struct {
+	pe    packet.PE
+	frame uint32
+}
+
+// Interval is a contiguous phase of one thread.
+type Interval struct {
+	From, To sim.Time
+	State    State
+}
+
+// State is a thread's coarse condition during an interval.
+type State uint8
+
+const (
+	// Running: the thread owns the EXU.
+	Running State = iota
+	// Suspended: waiting for a remote read or queued behind other threads.
+	Suspended
+)
+
+// Timeline is one thread's reconstructed band.
+type Timeline struct {
+	PE        packet.PE
+	Frame     uint32
+	Name      string
+	Intervals []Interval
+	End       sim.Time
+}
+
+// Timelines reconstructs per-thread intervals from the recorded events.
+// Threads are ordered by PE, then by first activity.
+func (r *Recorder) Timelines() []Timeline {
+	byThread := map[threadKey]*Timeline{}
+	var order []threadKey
+	openAt := map[threadKey]sim.Time{} // start of current running interval
+	for _, ev := range r.Events {
+		k := threadKey{ev.PE, ev.Frame}
+		tl, ok := byThread[k]
+		if !ok {
+			tl = &Timeline{PE: ev.PE, Frame: ev.Frame, Name: ev.Thread}
+			byThread[k] = tl
+			order = append(order, k)
+		}
+		switch ev.Kind {
+		case core.TraceStart, core.TraceRun:
+			openAt[k] = ev.At
+		case core.TraceReadIssue, core.TraceYield, core.TraceEnd:
+			if from, open := openAt[k]; open {
+				tl.Intervals = append(tl.Intervals, Interval{From: from, To: ev.At, State: Running})
+				delete(openAt, k)
+			}
+			tl.End = ev.At
+		}
+	}
+	out := make([]Timeline, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byThread[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].PE != out[j].PE {
+			return out[i].PE < out[j].PE
+		}
+		return out[i].Frame < out[j].Frame
+	})
+	return out
+}
+
+// Gantt renders the timelines as text, width columns wide:
+//
+//	'=' running on the EXU, '.' suspended/queued, ' ' not yet started /
+//	finished — the rendering of the paper's Figure 4 and 5 bands.
+func (r *Recorder) Gantt(width int) string {
+	tls := r.Timelines()
+	if len(tls) == 0 {
+		return "(no trace events)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	var horizon sim.Time
+	for _, tl := range tls {
+		if tl.End > horizon {
+			horizon = tl.End
+		}
+	}
+	if horizon == 0 {
+		horizon = 1
+	}
+	labelW := 0
+	for _, tl := range tls {
+		if n := len(label(tl)); n > labelW {
+			labelW = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %d cycles (%.2f us), one column = %.1f cycles\n",
+		horizon, horizon.Micros(), float64(horizon)/float64(width))
+	scale := func(t sim.Time) int {
+		c := int(int64(t) * int64(width) / int64(horizon))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, tl := range tls {
+		row := make([]byte, width)
+		var first, last sim.Time = -1, tl.End
+		for _, iv := range tl.Intervals {
+			if first < 0 || iv.From < first {
+				first = iv.From
+			}
+		}
+		if first < 0 {
+			first = 0
+		}
+		for c := scale(first); c <= scale(last); c++ {
+			row[c] = '.'
+		}
+		for _, iv := range tl.Intervals {
+			for c := scale(iv.From); c <= scale(iv.To) && c < width; c++ {
+				row[c] = '='
+			}
+		}
+		for i := range row {
+			if row[i] == 0 {
+				row[i] = ' '
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, label(tl), string(row))
+	}
+	b.WriteString("legend: '=' running   '.' suspended/queued   ' ' inactive\n")
+	return b.String()
+}
+
+func label(tl Timeline) string {
+	return fmt.Sprintf("PE%d %s", tl.PE, tl.Name)
+}
+
+// Summary reports per-PE event counts, useful for quick inspection.
+func (r *Recorder) Summary() string {
+	counts := map[packet.PE]map[core.TraceKind]int{}
+	var pes []packet.PE
+	for _, ev := range r.Events {
+		if counts[ev.PE] == nil {
+			counts[ev.PE] = map[core.TraceKind]int{}
+			pes = append(pes, ev.PE)
+		}
+		counts[ev.PE][ev.Kind]++
+	}
+	sort.Slice(pes, func(i, j int) bool { return pes[i] < pes[j] })
+	var b strings.Builder
+	for _, pe := range pes {
+		c := counts[pe]
+		fmt.Fprintf(&b, "PE%d: %d starts, %d resumes, %d reads, %d yields, %d ends\n",
+			pe, c[core.TraceStart], c[core.TraceRun], c[core.TraceReadIssue],
+			c[core.TraceYield], c[core.TraceEnd])
+	}
+	return b.String()
+}

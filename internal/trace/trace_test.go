@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"emx/internal/core"
+	"emx/internal/packet"
+)
+
+// runTraced reproduces the paper's Figure 4 setup: two PEs, two threads
+// each, reading from the mate and computing.
+func runTraced(t *testing.T) *Recorder {
+	t.Helper()
+	cfg := core.DefaultConfig(2)
+	cfg.MemWords = 1 << 10
+	cfg.MaxCycles = 1_000_000
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{}
+	m.SetTracer(rec.Record)
+	for pe := packet.PE(0); pe < 2; pe++ {
+		pe := pe
+		for th := 0; th < 2; th++ {
+			th := th
+			m.SpawnAt(pe, "thd", packet.Word(th), func(tc *core.TC) {
+				mate := 1 - pe
+				for k := 0; k < 4; k++ {
+					tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(th*4 + k)})
+					tc.Compute(15)
+				}
+			})
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec := runTraced(t)
+	var starts, ends, reads, runs int
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case core.TraceStart:
+			starts++
+		case core.TraceEnd:
+			ends++
+		case core.TraceReadIssue:
+			reads++
+		case core.TraceRun:
+			runs++
+		}
+	}
+	if starts != 4 || ends != 4 {
+		t.Fatalf("starts=%d ends=%d, want 4,4", starts, ends)
+	}
+	if reads != 16 {
+		t.Fatalf("read issues = %d, want 16", reads)
+	}
+	if runs != reads {
+		t.Fatalf("resumes = %d, want %d (one per read)", runs, reads)
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].At < rec.Events[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestTimelinesAlternateRunSuspend(t *testing.T) {
+	rec := runTraced(t)
+	tls := rec.Timelines()
+	if len(tls) != 4 {
+		t.Fatalf("timelines = %d, want 4", len(tls))
+	}
+	for _, tl := range tls {
+		// 1 start + 4 reads -> 5 running intervals per thread.
+		if len(tl.Intervals) != 5 {
+			t.Fatalf("%s PE%d: %d intervals, want 5", tl.Name, tl.PE, len(tl.Intervals))
+		}
+		for i, iv := range tl.Intervals {
+			if iv.To < iv.From {
+				t.Fatalf("interval %d inverted: %+v", i, iv)
+			}
+			if i > 0 && iv.From < tl.Intervals[i-1].To {
+				t.Fatalf("intervals overlap: %+v then %+v", tl.Intervals[i-1], iv)
+			}
+		}
+	}
+}
+
+func TestNoTwoThreadsRunConcurrentlyOnOnePE(t *testing.T) {
+	// The EXU runs one thread at a time: running intervals of threads on
+	// the same PE must not overlap.
+	rec := runTraced(t)
+	tls := rec.Timelines()
+	for i := range tls {
+		for j := i + 1; j < len(tls); j++ {
+			if tls[i].PE != tls[j].PE {
+				continue
+			}
+			for _, a := range tls[i].Intervals {
+				for _, b := range tls[j].Intervals {
+					if a.From < b.To && b.From < a.To {
+						t.Fatalf("PE%d: overlap %+v and %+v", tls[i].PE, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec := runTraced(t)
+	g := rec.Gantt(60)
+	if !strings.Contains(g, "PE0 thd") || !strings.Contains(g, "PE1 thd") {
+		t.Fatalf("gantt missing thread rows:\n%s", g)
+	}
+	if !strings.Contains(g, "=") || !strings.Contains(g, "legend") {
+		t.Fatalf("gantt missing bands:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 6 { // header + 4 threads + legend
+		t.Fatalf("gantt has %d lines:\n%s", len(lines), g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	rec := &Recorder{}
+	if !strings.Contains(rec.Gantt(40), "no trace events") {
+		t.Fatal("empty recorder should say so")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rec := runTraced(t)
+	s := rec.Summary()
+	if !strings.Contains(s, "PE0:") || !strings.Contains(s, "PE1:") {
+		t.Fatalf("summary:\n%s", s)
+	}
+	if !strings.Contains(s, "8 reads") {
+		t.Fatalf("summary read counts wrong:\n%s", s)
+	}
+}
