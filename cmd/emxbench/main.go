@@ -4,39 +4,85 @@
 // counts), plus the ablations (EM-4 servicing, block reads) and the
 // analytic-model comparison.
 //
+// Sweeps execute through the labd scheduler — the same pooling,
+// coalescing, and caching path the emxd daemon serves — either
+// in-process (the default) or against a running daemon via -remote,
+// where repeated panels are cache hits.
+//
 // Usage:
 //
-//	emxbench -fig 6b                 # one panel
-//	emxbench -fig all -format csv    # everything, machine-readable
-//	emxbench -fig 7d -scale 256      # larger simulated sizes
+//	emxbench -fig 6b                      # one panel
+//	emxbench -fig all -format csv         # everything, machine-readable
+//	emxbench -fig 7d -scale 256           # larger simulated sizes
+//	emxbench -fig all -format json        # benchmark snapshot (BENCH_<date>.json)
+//	emxbench -fig 6b -remote http://host:8484   # run on an emxd daemon
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
-	"emx/internal/analytic"
-	"emx/internal/core"
 	"emx/internal/harness"
-	"emx/internal/metrics"
-	"emx/internal/proc"
+	"emx/internal/labd"
+	"emx/internal/labd/service"
 )
 
-type renderer func(harness.Figure) string
-
 func main() {
-	var (
-		fig     = flag.String("fig", "all", "panel: 6a-6d, 7a-7d, 8a-8d, 9a-9d, em4, block, sched, irr, model, latency, load, all")
-		scale   = flag.Int("scale", harness.DefaultScale, "divide the paper's problem sizes by this factor")
-		format  = flag.String("format", "table", "output: table, csv, or chart")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 1, "input generator seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var render renderer
+// Snapshot is the -format json output: every requested panel with its
+// simulated-cycle total, suitable for committing as BENCH_<date>.json
+// to track the perf trajectory. Byte-identical across reruns with the
+// same flags (no timestamps; the simulator is deterministic).
+type Snapshot struct {
+	Paper  string           `json:"paper"`
+	Scale  int              `json:"scale"`
+	Seed   int64            `json:"seed"`
+	Panels []harness.Figure `json:"panels"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emxbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig     = fs.String("fig", "all", "panel to regenerate, or 'all'")
+		scale   = fs.Int("scale", harness.DefaultScale, "divide the paper's problem sizes by this factor")
+		format  = fs.String("format", "table", "output: table, csv, chart, or json")
+		workers = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		seed    = fs.Int64("seed", 1, "input generator seed")
+		remote  = fs.String("remote", "", "base URL of a running emxd daemon (empty: run in-process)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: emxbench [flags]")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "valid panels: all, %s\n", strings.Join(harness.PanelNames(), ", "))
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	name := strings.ToLower(*fig)
+	if name != "all" && !harness.ValidPanel(name) {
+		fmt.Fprintf(stderr, "emxbench: unknown figure %q\nvalid panels: all, %s\n",
+			*fig, strings.Join(harness.PanelNames(), ", "))
+		return 2
+	}
+	if *scale < 1 {
+		fmt.Fprintf(stderr, "emxbench: -scale must be >= 1, got %d\n", *scale)
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "emxbench: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	var render func(harness.Figure) string
 	switch *format {
 	case "table":
 		render = func(f harness.Figure) string { return f.Table() }
@@ -44,306 +90,99 @@ func main() {
 		render = func(f harness.Figure) string { return fmt.Sprintf("# %s [%s]\n%s", f.Title, f.ID, f.CSV()) }
 	case "chart":
 		render = func(f harness.Figure) string { return f.Chart(16) }
+	case "json":
+		render = nil // collected into one Snapshot below
 	default:
-		fmt.Fprintf(os.Stderr, "emxbench: unknown format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "emxbench: unknown format %q (want table, csv, chart, or json)\n", *format)
+		return 2
 	}
 
-	b := bench{scale: *scale, workers: *workers, seed: *seed, render: render}
-	if err := b.run(strings.ToLower(*fig)); err != nil {
-		fmt.Fprintln(os.Stderr, "emxbench:", err)
-		os.Exit(1)
+	names := []string{name}
+	if name == "all" {
+		names = harness.PanelNames()
 	}
+
+	var panel func(string) ([]harness.Figure, error)
+	if *remote != "" {
+		panel = remotePanels(*remote, *scale, *seed)
+	} else {
+		var cleanup func()
+		panel, cleanup = localPanels(*scale, *seed, *workers, stderr)
+		defer cleanup()
+	}
+
+	var collected []harness.Figure
+	for _, n := range names {
+		figs, err := panel(n)
+		if err != nil {
+			fmt.Fprintln(stderr, "emxbench:", err)
+			return 1
+		}
+		for _, f := range figs {
+			if render != nil {
+				fmt.Fprintln(stdout, render(f))
+			} else {
+				collected = append(collected, f)
+			}
+		}
+	}
+	if render == nil {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Snapshot{
+			Paper:  "EM-X (SPAA 1997)",
+			Scale:  *scale,
+			Seed:   *seed,
+			Panels: collected,
+		}); err != nil {
+			fmt.Fprintln(stderr, "emxbench:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
-type bench struct {
-	scale   int
-	workers int
-	seed    int64
-	render  renderer
-	sweeps  map[string]*harness.SweepResult
+// localPanels builds panels in-process through a transient labd
+// scheduler, exactly the execution path emxd serves. The returned
+// cleanup stops the scheduler.
+func localPanels(scale int, seed int64, workers int, stderr io.Writer) (func(string) ([]harness.Figure, error), func()) {
+	sched := labd.New(labd.Options{Workers: workers})
+	pr := harness.NewPanelRunner(harness.PanelOptions{
+		Scale: scale,
+		Seed:  seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "emxbench: "+format+"\n", args...)
+		},
+	}, sched)
+	return pr.Panel, sched.Close
 }
 
-// panelSweep maps the paper's panel letters onto (workload, P).
-var panelSweep = map[byte]struct {
-	w harness.Workload
-	p int
-}{
-	'a': {harness.Bitonic, 16},
-	'b': {harness.Bitonic, 64},
-	'c': {harness.FFT, 16},
-	'd': {harness.FFT, 64},
-}
-
-func (b *bench) sweep(w harness.Workload, p int, mode proc.ServiceMode, block, replyHigh bool) (*harness.SweepResult, error) {
-	if b.sweeps == nil {
-		b.sweeps = map[string]*harness.SweepResult{}
-	}
-	key := fmt.Sprintf("%s-%d-%d-%v-%v", w, p, mode, block, replyHigh)
-	if res, ok := b.sweeps[key]; ok {
-		return res, nil
-	}
-	fmt.Fprintf(os.Stderr, "emxbench: sweeping %s P=%d (mode=%s block=%v replyhigh=%v, scale %d)...\n",
-		w, p, mode, block, replyHigh, b.scale)
-	res, err := harness.Sweep{
-		Workload: w, P: p, Scale: b.scale, Mode: mode,
-		BlockRead: block, ReplyHigh: replyHigh, Seed: b.seed,
-	}.Run(b.workers)
-	if err != nil {
-		return nil, err
-	}
-	b.sweeps[key] = res
-	return res, nil
-}
-
-func (b *bench) run(fig string) error {
-	if fig == "all" {
-		for _, f := range []string{
-			"6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d",
-			"8a", "8b", "8c", "8d", "9a", "9b", "9c", "9d",
-			"em4", "block", "sched", "irr", "model", "latency", "load",
-		} {
-			if err := b.run(f); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	emit := func(f harness.Figure, err error) error {
+// remotePanels requests panels from a running emxd daemon.
+func remotePanels(base string, scale int, seed int64) func(string) ([]harness.Figure, error) {
+	base = strings.TrimRight(base, "/")
+	return func(name string) ([]harness.Figure, error) {
+		body, err := json.Marshal(service.FigureRequest{Fig: name, Scale: scale, Seed: seed})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println(b.render(f))
-		return nil
-	}
-
-	switch {
-	case len(fig) == 2 && (fig[0] == '6' || fig[0] == '7'):
-		ps, ok := panelSweep[fig[1]]
-		if !ok {
-			return fmt.Errorf("unknown panel %q", fig)
-		}
-		res, err := b.sweep(ps.w, ps.p, proc.ServiceBypass, false, false)
+		resp, err := http.Post(base+"/v1/figure", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return err
+			return nil, fmt.Errorf("remote %s: %w", base, err)
 		}
-		if fig[0] == '6' {
-			return emit(harness.Fig6(res), nil)
-		}
-		return emit(harness.Fig7(res))
-
-	case len(fig) == 2 && (fig[0] == '8' || fig[0] == '9'):
-		// Figure 8/9 panels are all P=64: a/b sorting at 512K/8M,
-		// c/d FFT at 512K/8M.
-		var w harness.Workload
-		var size int
-		switch fig[1] {
-		case 'a':
-			w, size = harness.Bitonic, 512*harness.K
-		case 'b':
-			w, size = harness.Bitonic, 8*harness.M
-		case 'c':
-			w, size = harness.FFT, 512*harness.K
-		case 'd':
-			w, size = harness.FFT, 8*harness.M
-		default:
-			return fmt.Errorf("unknown panel %q", fig)
-		}
-		res, err := b.sweep(w, 64, proc.ServiceBypass, false, false)
-		if err != nil {
-			return err
-		}
-		if fig[0] == '8' {
-			return emit(harness.Fig8(res, size))
-		}
-		return emit(harness.Fig9(res, size))
-
-	case fig == "em4":
-		// Ablation X-em4: EM-X by-passing DMA vs EM-4 EXU servicing.
-		for _, w := range []harness.Workload{harness.Bitonic, harness.FFT} {
-			bypass, err := b.sweep(w, 16, proc.ServiceBypass, false, false)
-			if err != nil {
-				return err
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
 			}
-			exu, err := b.sweep(w, 16, proc.ServiceEXU, false, false)
-			if err != nil {
-				return err
+			if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+				return nil, fmt.Errorf("remote %s: %s", base, e.Error)
 			}
-			size := 512 * harness.K
-			f, err := harness.CompareSweeps(
-				"xem4-"+w.String(),
-				fmt.Sprintf("Servicing ablation: %s, P=16, n=%s", w, harness.SizeLabel(size)),
-				"makespan (s, simulated)", size, harness.MakespanSeconds,
-				harness.LabelledSweep{Label: "EM-X by-passing DMA", Result: bypass},
-				harness.LabelledSweep{Label: "EM-4 EXU servicing", Result: exu})
-			if err := emit(f, err); err != nil {
-				return err
-			}
+			return nil, fmt.Errorf("remote %s: HTTP %s", base, resp.Status)
 		}
-		return nil
-
-	case fig == "block":
-		// Ablation X-block: element reads vs block-read sends (bitonic).
-		elem, err := b.sweep(harness.Bitonic, 16, proc.ServiceBypass, false, false)
-		if err != nil {
-			return err
+		var fr service.FigureResponse
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			return nil, fmt.Errorf("remote %s: bad response: %w", base, err)
 		}
-		blk, err := b.sweep(harness.Bitonic, 16, proc.ServiceBypass, true, false)
-		if err != nil {
-			return err
-		}
-		size := 512 * harness.K
-		f, err := harness.CompareSweeps(
-			"xblock",
-			fmt.Sprintf("Block-read ablation: bitonic, P=16, n=%s", harness.SizeLabel(size)),
-			"comm time (s, simulated)", size, harness.CommSeconds,
-			harness.LabelledSweep{Label: "element reads (paper)", Result: elem},
-			harness.LabelledSweep{Label: "block-read sends", Result: blk})
-		return emit(f, err)
-
-	case fig == "sched":
-		// Ablation X-sched: FIFO vs resume-first reply scheduling — the
-		// fine-tuning direction the paper's conclusion proposes.
-		for _, w := range []harness.Workload{harness.Bitonic, harness.FFT} {
-			fifo, err := b.sweep(w, 16, proc.ServiceBypass, false, false)
-			if err != nil {
-				return err
-			}
-			hi, err := b.sweep(w, 16, proc.ServiceBypass, false, true)
-			if err != nil {
-				return err
-			}
-			size := 512 * harness.K
-			f, err := harness.CompareSweeps(
-				"xsched-"+w.String(),
-				fmt.Sprintf("Reply scheduling ablation: %s, P=16, n=%s", w, harness.SizeLabel(size)),
-				"comm time (s, simulated)", size, harness.CommSeconds,
-				harness.LabelledSweep{Label: "FIFO replies (EM-X)", Result: fifo},
-				harness.LabelledSweep{Label: "resume-first replies", Result: hi})
-			if err := emit(f, err); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case fig == "irr":
-		// Extension X-irr: the conclusion's proposed irregular workload —
-		// where does SpMV's overlap land between sorting and FFT?
-		var labelled []harness.LabelledSweep
-		for _, w := range []harness.Workload{harness.Bitonic, harness.SpMV, harness.FFT} {
-			res, err := b.sweep(w, 16, proc.ServiceBypass, false, false)
-			if err != nil {
-				return err
-			}
-			labelled = append(labelled, harness.LabelledSweep{Label: w.String(), Result: res})
-		}
-		size := 512 * harness.K
-		f, err := harness.CompareSweeps(
-			"xirr",
-			fmt.Sprintf("Irregular workload: overlap efficiency, P=16, n=%s", harness.SizeLabel(size)),
-			"overlap efficiency (%)", size,
-			func(*metrics.Run) float64 { return 0 }, labelled...)
-		if err != nil {
-			return err
-		}
-		// Replace the metric with per-sweep efficiency (needs the h=1
-		// baseline of each sweep, which CompareSweeps' single-run metric
-		// cannot express).
-		for i, ls := range labelled {
-			si := ls.Result.SizeIndex(size)
-			base := ls.Result.Runs[si][ls.Result.ThreadIndex(1)]
-			for hi := range ls.Result.Threads {
-				f.Series[i].Y[hi] = metrics.Efficiency(base, ls.Result.Runs[si][hi])
-			}
-		}
-		return emit(f, nil)
-
-	case fig == "model":
-		return b.model()
-
-	case fig == "latency":
-		return b.latency()
-
-	case fig == "load":
-		return b.load()
+		return fr.Figures, nil
 	}
-	return fmt.Errorf("unknown figure %q", fig)
-}
-
-// model compares the Saavedra-Barrera analytic model against the
-// synthetic kernel on the simulator (experiment X-model).
-func (b *bench) model() error {
-	cfg := core.DefaultConfig(16)
-	cfg.MemWords = 1 << 14
-	cfg.MaxCycles = 1 << 36
-	const runLen = 40
-	m := analytic.FitFromConfig(cfg, runLen)
-	f := harness.Figure{
-		ID:     "xmodel",
-		Title:  fmt.Sprintf("Analytic model vs simulation (R=%d, L=%.0f, C=%.0f)", runLen, m.L, m.C),
-		XLabel: "threads",
-		YLabel: "processor efficiency",
-		X:      []int{1, 2, 3, 4, 6, 8, 12, 16},
-	}
-	model := harness.Series{Label: "Saavedra-Barrera model"}
-	meas := harness.Series{Label: "simulated kernel"}
-	region := harness.Series{Label: "model region (0=lin 1=trans 2=sat)"}
-	for _, h := range f.X {
-		model.Y = append(model.Y, m.Efficiency(h))
-		_, e, err := analytic.RunKernel(cfg, analytic.KernelParams{H: h, Reads: 80, R: runLen})
-		if err != nil {
-			return err
-		}
-		meas.Y = append(meas.Y, e)
-		region.Y = append(region.Y, float64(m.RegionOf(h)))
-	}
-	f.Series = []harness.Series{model, meas, region}
-	fmt.Println(b.render(f))
-	fmt.Printf("saturation point N* = %.2f threads (the paper's 2-4 band)\n\n", m.SaturationPoint())
-	return nil
-}
-
-// load reports observed remote read latency under load: h threads per PE
-// all reading, for the sorting run length — "1 to 2 usec when the network
-// is normally loaded".
-func (b *bench) load() error {
-	f := harness.Figure{
-		ID:     "xload",
-		Title:  "Observed remote read latency under load (R=12)",
-		XLabel: "threads",
-		YLabel: "latency (cycles)",
-		X:      []int{1, 2, 4, 8, 16},
-	}
-	for _, p := range []int{16, 64, 80} {
-		cfg := core.DefaultConfig(p)
-		cfg.MemWords = 1 << 12
-		cfg.MaxCycles = 1 << 34
-		ser := harness.Series{Label: fmt.Sprintf("P=%d", p)}
-		for _, h := range f.X {
-			lat, err := analytic.MeasureLoadedLatency(cfg, h, 48, 12)
-			if err != nil {
-				return err
-			}
-			ser.Y = append(ser.Y, lat)
-		}
-		f.Series = append(f.Series, ser)
-	}
-	fmt.Println(b.render(f))
-	return nil
-}
-
-// latency reports the in-text measurement T-lat: a typical remote read
-// takes about 1 us (20 cycles), growing with machine size and load.
-func (b *bench) latency() error {
-	fmt.Println("Remote read latency (unloaded, T-lat):")
-	for _, p := range []int{2, 4, 16, 64, 80, 128} {
-		cfg := core.DefaultConfig(p)
-		cfg.MemWords = 1 << 12
-		lat := analytic.MeasureLatency(cfg)
-		fmt.Printf("  P=%-4d  %2d cycles = %.2f us  (paper: ~1-2 us, 20-40 cycles)\n",
-			p, lat, lat.Micros())
-	}
-	fmt.Println()
-	return nil
 }

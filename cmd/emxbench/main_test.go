@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"emx/internal/labd/service"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUnknownFigureExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-fig", "6z")
+	if code == 0 {
+		t.Fatal("unknown figure accepted")
+	}
+	if !strings.Contains(stderr, "unknown figure") ||
+		!strings.Contains(stderr, "valid panels") ||
+		!strings.Contains(stderr, "6a") || !strings.Contains(stderr, "latency") {
+		t.Fatalf("usage message does not list valid panels:\n%s", stderr)
+	}
+}
+
+func TestInvalidFlagValuesExitNonZero(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "0"},
+		{"-scale", "-8"},
+		{"-workers", "-1"},
+		{"-format", "yaml"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code == 0 {
+			t.Errorf("args %v accepted; stderr:\n%s", args, stderr)
+		}
+		if stderr == "" {
+			t.Errorf("args %v rejected silently", args)
+		}
+	}
+}
+
+// hugeScale clamps panel sizes to the minimum grid for fast tests.
+const hugeScale = "1048576"
+
+func TestJSONSnapshot(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(stdout), &snap); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, stdout)
+	}
+	if snap.Scale != 1048576 || snap.Seed != 1 || len(snap.Panels) != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	p := snap.Panels[0]
+	if p.ID != "fig6-bitonic-P16" || p.SimCycles == 0 || len(p.Series) != 5 {
+		t.Fatalf("panel %+v", p)
+	}
+
+	// The snapshot is byte-identical across reruns (perf trajectory
+	// files diff cleanly).
+	_, stdout2, _ := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "json")
+	if stdout != stdout2 {
+		t.Fatal("json snapshot not deterministic")
+	}
+}
+
+func TestRemoteDaemonRoundTrip(t *testing.T) {
+	srv := service.New(service.Options{Scale: 1 << 20, Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	code, local, stderr := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "csv")
+	if code != 0 {
+		t.Fatalf("local exit %d:\n%s", code, stderr)
+	}
+	code, remote, stderr := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "csv", "-remote", ts.URL)
+	if code != 0 {
+		t.Fatalf("remote exit %d:\n%s", code, stderr)
+	}
+	if local != remote {
+		t.Fatalf("remote output differs from local:\n%s\nvs\n%s", local, remote)
+	}
+	if srv.Scheduler().Stats().Started == 0 {
+		t.Fatal("daemon executed nothing")
+	}
+
+	// Second remote request: all cache hits, same bytes.
+	started := srv.Scheduler().Stats().Started
+	code, remote2, _ := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "csv", "-remote", ts.URL)
+	if code != 0 || remote2 != remote {
+		t.Fatal("cached remote output differs")
+	}
+	if srv.Scheduler().Stats().Started != started {
+		t.Fatal("repeated remote figure re-executed simulations")
+	}
+}
+
+func TestRemoteUnreachable(t *testing.T) {
+	code, _, stderr := runCLI(t, "-fig", "6a", "-remote", "http://127.0.0.1:1")
+	if code == 0 {
+		t.Fatal("unreachable daemon accepted")
+	}
+	if !strings.Contains(stderr, "remote") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}

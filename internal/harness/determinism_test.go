@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"testing"
+
+	"emx/internal/labd"
+)
+
+// TestFigureCSVDeterministicAcrossWorkers proves host-side scheduling
+// never leaks into simulated results: the same figure panel rendered
+// from sweeps executed with 1 worker and with 8 workers through the
+// labd scheduler is byte-identical. Run under -race in CI.
+func TestFigureCSVDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) (string, string) {
+		t.Helper()
+		sched := labd.New(labd.Options{Workers: workers})
+		defer sched.Close()
+		res, err := smallSweep(Bitonic).RunOn(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f6 := Fig6(res)
+		f7, err := Fig7(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f6.CSV(), f7.CSV()
+	}
+	csv6a, csv7a := render(1)
+	csv6b, csv7b := render(8)
+	if csv6a != csv6b {
+		t.Fatalf("Fig6 CSV differs between workers=1 and workers=8:\n%s\nvs\n%s", csv6a, csv6b)
+	}
+	if csv7a != csv7b {
+		t.Fatalf("Fig7 CSV differs between workers=1 and workers=8:\n%s\nvs\n%s", csv7a, csv7b)
+	}
+	if csv6a == "" || csv7a == "" {
+		t.Fatal("empty CSV")
+	}
+}
+
+// TestSweepRunMatchesRunOn: the convenience Run(workers) path and an
+// explicit scheduler produce identical grids.
+func TestSweepRunMatchesRunOn(t *testing.T) {
+	a, err := smallSweep(FFT).Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := labd.New(labd.Options{Workers: 2})
+	defer sched.Close()
+	b, err := smallSweep(FFT).RunOn(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Runs {
+		for hi := range a.Runs[si] {
+			if a.Runs[si][hi].Makespan != b.Runs[si][hi].Makespan {
+				t.Fatalf("cell (%d,%d) differs between Run and RunOn", si, hi)
+			}
+		}
+	}
+}
+
+// TestSweepCoalescesDuplicatePoints: a sweep whose grid degenerates to
+// identical points (clamped sizes) executes each unique point once when
+// run through a caching scheduler.
+func TestSweepCoalescesDuplicatePoints(t *testing.T) {
+	sched := labd.New(labd.Options{Workers: 4})
+	defer sched.Close()
+	s := Sweep{
+		Workload:   Bitonic,
+		P:          4,
+		PaperSizes: []int{64 * K, 64 * K}, // two identical size rows
+		Scale:      1 << 20,
+		Threads:    []int{1, 2},
+		Seed:       3,
+	}
+	res, err := s.RunOn(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 grid cells, but only 2 unique (size rows collapse): the
+	// scheduler must have executed exactly 2 simulations.
+	st := sched.Stats()
+	if st.Started != 2 {
+		t.Fatalf("started %d simulations for 2 unique points", st.Started)
+	}
+	if st.CacheHits+st.Coalesced != 2 {
+		t.Fatalf("expected 2 deduplicated cells, got hits=%d coalesced=%d", st.CacheHits, st.Coalesced)
+	}
+	if res.Runs[0][0].Makespan != res.Runs[1][0].Makespan {
+		t.Fatal("identical points produced different results")
+	}
+}
+
+func TestPointSpecKeyStable(t *testing.T) {
+	ps := Sweep{Workload: FFT, P: 4, PaperSizes: []int{64 * K}, Scale: 512, Threads: []int{2}, Seed: 1}.
+		withDefaults().Point(0, 0)
+	if ps.Key(512) != ps.Key(512) {
+		t.Fatal("key not deterministic")
+	}
+	if ps.Key(512) == ps.Key(256) {
+		t.Fatal("scale not part of the identity")
+	}
+	other := ps
+	other.Seed = 2
+	if ps.Key(512) == other.Key(512) {
+		t.Fatal("seed not part of the identity")
+	}
+}

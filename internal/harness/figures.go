@@ -7,21 +7,38 @@ import (
 )
 
 // Figure is one panel of the paper's evaluation: named series over the
-// thread-count x-axis.
+// thread-count x-axis. The JSON form is served by emxd's /v1/figure and
+// written by emxbench -format json.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	LogY   bool
-	X      []int
-	Series []Series
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	XLabel string `json:"xlabel"`
+	YLabel string `json:"ylabel"`
+	// XName is the axis symbol used in table/CSV headers ("h" when empty;
+	// the in-text measurement panels sweep P instead).
+	XName string `json:"xname,omitempty"`
+	LogY  bool   `json:"logy,omitempty"`
+	// Note is a free-text remark printed after the panel (e.g. the
+	// analytic model's saturation point).
+	Note string `json:"note,omitempty"`
+	// SimCycles totals the simulated machine cycles behind the panel —
+	// the benchmark snapshot's perf-trajectory quantity.
+	SimCycles uint64   `json:"sim_cycles"`
+	X         []int    `json:"x"`
+	Series    []Series `json:"series"`
 }
 
 // Series is one labelled curve.
 type Series struct {
-	Label string
-	Y     []float64
+	Label string    `json:"label"`
+	Y     []float64 `json:"y"`
+}
+
+func (f Figure) xname() string {
+	if f.XName != "" {
+		return f.XName
+	}
+	return "h"
 }
 
 // Fig6 builds a Figure 6 panel from a sweep: absolute communication time
@@ -171,6 +188,21 @@ func CompareSweeps(id, title, ylabel string, paperN int, metric func(*metrics.Ru
 type LabelledSweep struct {
 	Label  string
 	Result *SweepResult
+}
+
+// TotalCycles sums the makespans of every run in the grid: the total
+// simulated work behind a sweep, reported per panel in benchmark
+// snapshots.
+func (r *SweepResult) TotalCycles() uint64 {
+	var total uint64
+	for _, row := range r.Runs {
+		for _, run := range row {
+			if run != nil {
+				total += uint64(run.Makespan)
+			}
+		}
+	}
+	return total
 }
 
 // CommSeconds is a CompareSweeps metric: mean per-PE communication time.

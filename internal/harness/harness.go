@@ -12,13 +12,13 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"emx/internal/apps/bitonic"
 	"emx/internal/apps/fft"
 	"emx/internal/apps/spmv"
 	"emx/internal/core"
+	"emx/internal/labd"
 	"emx/internal/metrics"
 	"emx/internal/proc"
 	"emx/internal/sim"
@@ -48,6 +48,17 @@ func (w Workload) String() string {
 		return "spmv"
 	}
 	return "workload(?)"
+}
+
+// ParseWorkload maps a workload name ("bitonic", "fft", "spmv") back to
+// its Workload, as used by the emxd request API and CLI flags.
+func ParseWorkload(name string) (Workload, error) {
+	for _, w := range []Workload{Bitonic, FFT, SpMV} {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown workload %q (want bitonic, fft, or spmv)", name)
 }
 
 // K and M are the element-count units of the paper's size labels.
@@ -101,14 +112,48 @@ type PointSpec struct {
 	Verify    bool // run the workload's self-check (off in sweeps)
 }
 
-// RunPoint executes one simulation point.
-func RunPoint(ps PointSpec) (*metrics.Run, error) {
+// config builds the machine configuration a point runs on; it is the
+// single source of truth for both execution and the point's identity.
+func (ps PointSpec) config() core.Config {
 	cfg := core.DefaultConfig(ps.P)
 	cfg.Proc.Mode = ps.Mode
 	if ps.ReplyHigh {
 		cfg.Proc.ReplyPrio = thread.High
 	}
 	cfg.MaxCycles = sim.Time(1) << 40
+	return cfg
+}
+
+// Identity canonicalizes the point into the content-addressed run
+// identity the labd scheduler caches and coalesces on. scale records
+// the scale-down factor that produced SimN (0 when requested directly).
+func (ps PointSpec) Identity(scale int) core.RunIdentity {
+	sched := "fifo"
+	if ps.ReplyHigh {
+		sched = "resume-first"
+	}
+	return core.RunIdentity{
+		Workload:  ps.Workload.String(),
+		P:         ps.P,
+		H:         ps.H,
+		SimN:      ps.SimN,
+		PaperN:    ps.PaperN,
+		Scale:     scale,
+		Seed:      ps.Seed,
+		Service:   ps.Mode.String(),
+		Sched:     sched,
+		BlockRead: ps.BlockRead,
+		Verify:    ps.Verify,
+		Config:    ps.config().Fingerprint(),
+	}
+}
+
+// Key returns the point's content hash — its cache key.
+func (ps PointSpec) Key(scale int) string { return ps.Identity(scale).Hash() }
+
+// RunPoint executes one simulation point.
+func RunPoint(ps PointSpec) (*metrics.Run, error) {
+	cfg := ps.config()
 	var (
 		run *metrics.Run
 		err error
@@ -181,10 +226,16 @@ func (s Sweep) SimSize(paperN int) int {
 	return n
 }
 
-// Run executes the sweep with the given number of parallel workers
-// (<=0 means GOMAXPROCS). Each grid point is an independent
-// deterministic simulation, so results do not depend on scheduling.
-func (s Sweep) Run(workers int) (*SweepResult, error) {
+// Executor runs one simulation point identified by a canonical content
+// key, returning how the result was obtained. *labd.Scheduler is the
+// production implementation; both the CLI and the emxd daemon execute
+// sweeps through it, sharing one scheduling/caching path.
+type Executor interface {
+	Do(key string, fn func() (*metrics.Run, error)) (*metrics.Run, labd.Source, error)
+}
+
+// withDefaults fills the sweep's zero-value knobs.
+func (s Sweep) withDefaults() Sweep {
 	if s.Scale <= 0 {
 		s.Scale = DefaultScale
 	}
@@ -194,56 +245,76 @@ func (s Sweep) Run(workers int) (*SweepResult, error) {
 	if len(s.PaperSizes) == 0 {
 		s.PaperSizes = DefaultSizes(s.P)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return s
+}
+
+// Point returns the fully resolved spec for one grid cell.
+func (s Sweep) Point(si, hi int) PointSpec {
+	paperN := s.PaperSizes[si]
+	return PointSpec{
+		Workload:  s.Workload,
+		P:         s.P,
+		SimN:      s.SimSize(paperN),
+		PaperN:    paperN,
+		H:         s.Threads[hi],
+		Mode:      s.Mode,
+		BlockRead: s.BlockRead,
+		ReplyHigh: s.ReplyHigh,
+		Seed:      s.Seed,
 	}
+}
+
+// Run executes the sweep on a transient labd scheduler with the given
+// worker bound (<=0 means GOMAXPROCS). Each grid point is an
+// independent deterministic simulation, so results do not depend on
+// scheduling.
+func (s Sweep) Run(workers int) (*SweepResult, error) {
+	sched := labd.New(labd.Options{Workers: workers, NoCache: true})
+	defer sched.Close()
+	return s.RunOn(sched)
+}
+
+// RunOn executes the sweep through an Executor — the shared execution
+// path of cmd/emxbench and the emxd daemon. Every grid point is
+// submitted concurrently under its content key, so the executor's
+// worker pool bounds parallelism and its cache/coalescing deduplicate
+// points shared with other figures.
+func (s Sweep) RunOn(exec Executor) (*SweepResult, error) {
+	s = s.withDefaults()
 	res := &SweepResult{Sweep: s, Runs: make([][]*metrics.Run, len(s.PaperSizes))}
 	for i := range res.Runs {
 		res.Runs[i] = make([]*metrics.Run, len(s.Threads))
 	}
 
-	type job struct{ si, hi int }
-	jobs := make(chan job)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for j := range jobs {
-				paperN := s.PaperSizes[j.si]
-				run, err := RunPoint(PointSpec{
-					Workload:  s.Workload,
-					P:         s.P,
-					SimN:      s.SimSize(paperN),
-					PaperN:    paperN,
-					H:         s.Threads[j.hi],
-					Mode:      s.Mode,
-					BlockRead: s.BlockRead,
-					ReplyHigh: s.ReplyHigh,
-					Seed:      s.Seed,
-				})
-				if err != nil {
-					if errs[w] == nil {
-						errs[w] = err
-					}
-					continue
-				}
-				res.Runs[j.si][j.hi] = run
-			}
-		}(w)
-	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	for si := range s.PaperSizes {
 		for hi := range s.Threads {
-			jobs <- job{si, hi}
+			wg.Add(1)
+			go func(si, hi int) {
+				defer wg.Done()
+				ps := s.Point(si, hi)
+				run, _, err := exec.Do(ps.Key(s.Scale), func() (*metrics.Run, error) {
+					return RunPoint(ps)
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				res.Runs[si][hi] = run
+			}(si, hi)
 		}
 	}
-	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return res, nil
 }

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"emx/internal/labd"
+)
+
+func TestPanelNames(t *testing.T) {
+	names := PanelNames()
+	if len(names) != 23 {
+		t.Fatalf("%d panels", len(names))
+	}
+	for _, want := range []string{"6a", "9d", "em4", "block", "sched", "irr", "model", "latency", "load"} {
+		if !ValidPanel(want) {
+			t.Errorf("panel %q not valid", want)
+		}
+	}
+	if ValidPanel("6e") || ValidPanel("all") || ValidPanel("") {
+		t.Error("invalid names accepted")
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	names[0] = "corrupted"
+	if !ValidPanel("6a") {
+		t.Fatal("PanelNames leaks internal state")
+	}
+}
+
+func TestPanelUnknown(t *testing.T) {
+	pr := NewPanelRunner(PanelOptions{Scale: 1 << 20}, labd.New(labd.Options{Workers: 1}))
+	if _, err := pr.Panel("nope"); err == nil || !strings.Contains(err.Error(), "unknown panel") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := pr.Panel("6z"); err == nil {
+		t.Fatal("bad panel letter accepted")
+	}
+}
+
+// TestPanelFigureShapes builds one cheap panel of each family at a
+// fully clamped scale and checks shape plus cycle accounting.
+func TestPanelFigureShapes(t *testing.T) {
+	sched := labd.New(labd.Options{Workers: 0})
+	defer sched.Close()
+	var logged []string
+	pr := NewPanelRunner(PanelOptions{
+		Scale: 1 << 20,
+		Seed:  1,
+		Logf:  func(format string, args ...any) { logged = append(logged, format) },
+	}, sched)
+
+	figs, err := pr.Panel("6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("%d figures for 6a", len(figs))
+	}
+	f := figs[0]
+	if len(f.Series) != 5 || len(f.X) != 9 {
+		t.Fatalf("6a shape: %d series x %d points", len(f.Series), len(f.X))
+	}
+	if f.SimCycles == 0 {
+		t.Fatal("6a has no cycle total")
+	}
+	if len(logged) == 0 {
+		t.Fatal("no progress logged")
+	}
+
+	// 7a reuses 6a's sweep: no new executions.
+	before := sched.Stats().Started
+	figs7, err := pr.Panel("7a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats().Started != before {
+		t.Fatalf("7a re-executed the 6a sweep (%d new runs)", sched.Stats().Started-before)
+	}
+	if figs7[0].ID != "fig7-bitonic-P16" {
+		t.Fatalf("7a id %q", figs7[0].ID)
+	}
+
+	// The in-text latency panel sweeps P, not h.
+	figsLat, err := pr.Panel("latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := figsLat[0]
+	if lat.XName != "P" {
+		t.Fatalf("latency xname %q", lat.XName)
+	}
+	if !strings.Contains(lat.Table(), "P =") {
+		t.Fatalf("latency table header wrong:\n%s", lat.Table())
+	}
+	if lat.Note == "" {
+		t.Fatal("latency panel lost its in-text note")
+	}
+	for _, y := range lat.Series[0].Y {
+		if y <= 0 {
+			t.Fatalf("non-positive latency %v", lat.Series[0].Y)
+		}
+	}
+}
+
+// TestPanelModelNote: the model panel carries its saturation-point
+// remark in the figure rather than printing it out-of-band.
+func TestPanelModelNote(t *testing.T) {
+	sched := labd.New(labd.Options{Workers: 0})
+	defer sched.Close()
+	pr := NewPanelRunner(PanelOptions{Scale: 1 << 20}, sched)
+	figs, err := pr.Panel("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := figs[0]
+	if !strings.Contains(f.Note, "saturation point") {
+		t.Fatalf("model note %q", f.Note)
+	}
+	if !strings.Contains(f.Table(), "saturation point") {
+		t.Fatal("note not rendered in table output")
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("%d model series", len(f.Series))
+	}
+	if f.SimCycles == 0 {
+		t.Fatal("model kernel cycles not accounted")
+	}
+}

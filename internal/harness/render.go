@@ -18,7 +18,7 @@ func (f Figure) Table() string {
 			wLabel = len(s.Label)
 		}
 	}
-	fmt.Fprintf(&b, "%-*s", wLabel+2, "h =")
+	fmt.Fprintf(&b, "%-*s", wLabel+2, f.xname()+" =")
 	for _, x := range f.X {
 		fmt.Fprintf(&b, "%12d", x)
 	}
@@ -28,6 +28,10 @@ func (f Figure) Table() string {
 		for _, y := range s.Y {
 			fmt.Fprintf(&b, "%12s", formatY(y))
 		}
+		b.WriteByte('\n')
+	}
+	if f.Note != "" {
+		b.WriteString(f.Note)
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -52,7 +56,7 @@ func (f Figure) CSV() string {
 	var b strings.Builder
 	b.WriteString("series")
 	for _, x := range f.X {
-		fmt.Fprintf(&b, ",h=%d", x)
+		fmt.Fprintf(&b, ",%s=%d", f.xname(), x)
 	}
 	b.WriteByte('\n')
 	for _, s := range f.Series {
@@ -131,6 +135,10 @@ func (f Figure) Chart(height int) string {
 	b.WriteByte('\n')
 	for si, s := range f.Series {
 		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Label)
+	}
+	if f.Note != "" {
+		b.WriteString(f.Note)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

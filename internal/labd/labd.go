@@ -1,0 +1,320 @@
+// Package labd is the experiment-orchestration layer of the
+// reproduction: a scheduler that executes deterministic simulation runs
+// on a bounded worker pool with content-addressed result caching,
+// per-request coalescing, and queue backpressure.
+//
+// Every run is identified by the hash of its canonical request
+// (core.RunIdentity): because a simulation is a pure function of that
+// identity, the scheduler may serve a cached result, attach a duplicate
+// request to an in-flight execution, or execute — all indistinguishable
+// to the caller except for latency. Both the harness's figure sweeps
+// and the emxd daemon (internal/labd/service) execute through this one
+// path, so scheduling policy, caching, and operational counters are
+// shared between the CLI and the service.
+package labd
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"emx/internal/metrics"
+)
+
+// ErrQueueFull is returned by Do when the pending-run queue is at
+// capacity: backpressure, not an execution failure. Callers should shed
+// load or retry after runs drain.
+var ErrQueueFull = errors.New("labd: run queue full")
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("labd: scheduler closed")
+
+// Source reports how a Do call obtained its result.
+type Source uint8
+
+const (
+	// Executed: this call ran the simulation on a pool worker.
+	Executed Source = iota
+	// Cached: the result was served from the LRU cache, zero executions.
+	Cached
+	// Coalesced: an identical request was already in flight; this call
+	// shared its single execution.
+	Coalesced
+)
+
+func (s Source) String() string {
+	switch s {
+	case Executed:
+		return "executed"
+	case Cached:
+		return "cached"
+	case Coalesced:
+		return "coalesced"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// Options configures a Scheduler. The zero value is usable: GOMAXPROCS
+// workers, a 1024-deep queue, and a 512-entry result cache.
+type Options struct {
+	// Workers bounds concurrent simulator executions (<=0: GOMAXPROCS).
+	Workers int
+	// QueueSize bounds runs admitted but not yet started (<=0: 1024).
+	// A full queue makes Do return ErrQueueFull.
+	QueueSize int
+	// CacheSize bounds the LRU result cache in entries (<=0: 512).
+	CacheSize int
+	// NoCache disables result caching entirely (coalescing still
+	// applies). Used by one-shot sweeps that never repeat a request.
+	NoCache bool
+	// Registry receives the scheduler's operational counters; a private
+	// registry is created when nil.
+	Registry *metrics.Registry
+}
+
+const (
+	defaultQueueSize = 1024
+	defaultCacheSize = 512
+)
+
+// Scheduler executes keyed runs on a bounded worker pool. Safe for
+// concurrent use. Results returned from the cache or a coalesced
+// execution are shared — callers must treat *metrics.Run as immutable.
+type Scheduler struct {
+	workers int
+	jobs    chan *job
+
+	mu       sync.Mutex
+	inflight map[string]*job
+	cache    *lruCache // nil when caching is disabled
+	closed   bool
+	wg       sync.WaitGroup
+
+	reg            *metrics.Registry
+	started        *metrics.Counter
+	completed      *metrics.Counter
+	failed         *metrics.Counter
+	cacheHits      *metrics.Counter
+	coalescedHits  *metrics.Counter
+	rejected       *metrics.Counter
+	workloadCycles func(label string) *metrics.Counter
+}
+
+type job struct {
+	key  string
+	fn   func() (*metrics.Run, error)
+	done chan struct{}
+	run  *metrics.Run
+	err  error
+}
+
+// New starts a scheduler and its worker pool.
+func New(o Options) *Scheduler {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = defaultQueueSize
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = defaultCacheSize
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Scheduler{
+		workers:  o.Workers,
+		jobs:     make(chan *job, o.QueueSize),
+		inflight: map[string]*job{},
+		reg:      reg,
+	}
+	if !o.NoCache {
+		s.cache = newLRU(o.CacheSize)
+	}
+	s.started = reg.Counter("emxd_runs_started_total", "simulator executions started")
+	s.completed = reg.Counter("emxd_runs_completed_total", "simulator executions completed successfully")
+	s.failed = reg.Counter("emxd_runs_failed_total", "simulator executions that returned an error")
+	s.cacheHits = reg.Counter("emxd_runs_cache_hit_total", "requests served from the result cache")
+	s.coalescedHits = reg.Counter("emxd_runs_coalesced_total", "requests attached to an identical in-flight execution")
+	s.rejected = reg.Counter("emxd_runs_rejected_total", "requests rejected because the queue was full")
+	s.workloadCycles = func(label string) *metrics.Counter {
+		return reg.Labeled("emxd_workload_cycles_total",
+			"simulated machine cycles executed, by workload", "workload", label)
+	}
+	reg.Gauge("emxd_queue_depth", "runs admitted but not yet started",
+		func() float64 { return float64(len(s.jobs)) })
+	reg.Gauge("emxd_cache_entries", "results held in the LRU cache",
+		func() float64 { return float64(s.CacheLen()) })
+	for i := 0; i < o.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Do returns the result for key, executing fn on the pool only if no
+// cached or in-flight result exists. It blocks until the result is
+// available, except when the queue is full (ErrQueueFull) or the
+// scheduler is closed (ErrClosed). fn must be a pure function of key.
+func (s *Scheduler) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Run, Source, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, Executed, ErrClosed
+	}
+	if s.cache != nil {
+		if run, ok := s.cache.get(key); ok {
+			s.mu.Unlock()
+			s.cacheHits.Inc()
+			return run, Cached, nil
+		}
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalescedHits.Inc()
+		<-j.done
+		return j.run, Coalesced, j.err
+	}
+	j := &job{key: key, fn: fn, done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+		s.inflight[key] = j
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, Executed, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.jobs))
+	}
+	<-j.done
+	return j.run, Executed, j.err
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.started.Inc()
+		j.run, j.err = j.fn()
+		s.mu.Lock()
+		delete(s.inflight, j.key)
+		if j.err == nil && s.cache != nil {
+			s.cache.add(j.key, j.run)
+		}
+		s.mu.Unlock()
+		if j.err != nil {
+			s.failed.Inc()
+		} else {
+			s.completed.Inc()
+			if j.run != nil && j.run.Label != "" {
+				s.workloadCycles(j.run.Label).Add(uint64(j.run.Makespan))
+			}
+		}
+		close(j.done)
+	}
+}
+
+// Close drains queued runs and stops the workers. Do calls made after
+// Close return ErrClosed; calls blocked in Do complete normally.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters.
+type Stats struct {
+	Started, Completed, Failed   uint64
+	CacheHits, Coalesced, Rejected uint64
+	QueueDepth, QueueCap         int
+	CacheLen, CacheCap           int
+	Workers                      int
+}
+
+// Stats returns current operational counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Started:    s.started.Value(),
+		Completed:  s.completed.Value(),
+		Failed:     s.failed.Value(),
+		CacheHits:  s.cacheHits.Value(),
+		Coalesced:  s.coalescedHits.Value(),
+		Rejected:   s.rejected.Value(),
+		QueueDepth: len(s.jobs),
+		QueueCap:   cap(s.jobs),
+		CacheLen:   s.CacheLen(),
+		CacheCap:   s.CacheCap(),
+		Workers:    s.workers,
+	}
+}
+
+// CacheLen returns the number of cached results (0 when disabled).
+func (s *Scheduler) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.len()
+}
+
+// CacheCap returns the cache bound in entries (0 when disabled).
+func (s *Scheduler) CacheCap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.cap
+}
+
+// Registry exposes the scheduler's metrics registry (for /metrics).
+func (s *Scheduler) Registry() *metrics.Registry { return s.reg }
+
+// lruCache is a plain LRU over *metrics.Run, guarded by Scheduler.mu.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	run *metrics.Run
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (*metrics.Run, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).run, true
+}
+
+func (c *lruCache) add(key string, run *metrics.Run) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).run = run
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key, run})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,282 @@
+package labd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emx/internal/metrics"
+)
+
+func fakeRun(label string, cycles int) *metrics.Run {
+	return &metrics.Run{Label: label, Makespan: 1 << 10, PEs: make([]metrics.PE, 1)}
+}
+
+// TestCoalescing: concurrent identical requests execute the simulator
+// exactly once; all callers see the same result object.
+func TestCoalescing(t *testing.T) {
+	s := New(Options{Workers: 2, NoCache: true})
+	defer s.Close()
+
+	var executions atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	runs := make([]*metrics.Run, callers)
+	sources := make([]Source, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run, src, err := s.Do("same-key", func() (*metrics.Run, error) {
+				executions.Add(1)
+				<-release // hold the run in flight until everyone has arrived
+				return fakeRun("bitonic", 100), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			runs[i], sources[i] = run, src
+		}(i)
+	}
+	// Wait until every caller is either executing or coalesced-waiting.
+	deadline := time.After(5 * time.Second)
+	for {
+		if s.Stats().Coalesced == callers-1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stuck waiting for coalescing: %+v", s.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("%d executions for %d identical requests, want 1", n, callers)
+	}
+	var executed, coalesced int
+	for i := range runs {
+		if runs[i] != runs[0] {
+			t.Fatal("callers saw different result objects")
+		}
+		switch sources[i] {
+		case Executed:
+			executed++
+		case Coalesced:
+			coalesced++
+		}
+	}
+	if executed != 1 || coalesced != callers-1 {
+		t.Fatalf("sources: %d executed, %d coalesced", executed, coalesced)
+	}
+}
+
+// TestCacheHit: a repeated request after completion never re-executes.
+func TestCacheHit(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	var executions atomic.Int64
+	fn := func() (*metrics.Run, error) {
+		executions.Add(1)
+		return fakeRun("fft", 10), nil
+	}
+	first, src, err := s.Do("k", fn)
+	if err != nil || src != Executed {
+		t.Fatalf("first: src=%v err=%v", src, err)
+	}
+	second, src, err := s.Do("k", fn)
+	if err != nil || src != Cached {
+		t.Fatalf("second: src=%v err=%v", src, err)
+	}
+	if first != second {
+		t.Fatal("cache returned a different object")
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("%d executions, want 1", executions.Load())
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.Started != 1 || st.Completed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestErrorsNotCached: a failed run is not cached and re-executes.
+func TestErrorsNotCached(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	var executions atomic.Int64
+	boom := errors.New("boom")
+	fn := func() (*metrics.Run, error) {
+		executions.Add(1)
+		return nil, boom
+	}
+	if _, _, err := s.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := s.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if executions.Load() != 2 {
+		t.Fatalf("%d executions, want 2 (errors must not be cached)", executions.Load())
+	}
+	if s.Stats().Failed != 2 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+// TestLRUEviction: the cache respects its bound and evicts least
+// recently used entries first.
+func TestLRUEviction(t *testing.T) {
+	s := New(Options{Workers: 1, CacheSize: 2})
+	defer s.Close()
+	var executions atomic.Int64
+	do := func(key string) Source {
+		t.Helper()
+		_, src, err := s.Do(key, func() (*metrics.Run, error) {
+			executions.Add(1)
+			return fakeRun("spmv", 1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	do("a") // cache: a
+	do("b") // cache: b a
+	if src := do("a"); src != Cached {
+		t.Fatalf("a should be cached, got %v", src)
+	} // cache: a b
+	do("c") // evicts b -> cache: c a
+	if got := s.CacheLen(); got != 2 {
+		t.Fatalf("cache len %d, want 2", got)
+	}
+	if src := do("b"); src != Executed {
+		t.Fatalf("b should have been evicted, got %v", src)
+	} // re-adding b evicts a -> cache: b c
+	if src := do("c"); src != Cached {
+		t.Fatalf("c should still be cached, got %v", src)
+	}
+	if src := do("a"); src != Executed {
+		t.Fatalf("a should have been evicted by b's return, got %v", src)
+	}
+}
+
+// TestQueueBackpressure: a full queue rejects immediately with
+// ErrQueueFull instead of blocking.
+func TestQueueBackpressure(t *testing.T) {
+	s := New(Options{Workers: 1, QueueSize: 1, NoCache: true})
+	defer s.Close()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	slow := func(key string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(key, func() (*metrics.Run, error) {
+				<-release
+				return fakeRun("bitonic", 1), nil
+			})
+		}()
+	}
+	slow("running") // occupies the single worker
+	// Wait for the worker to pick it up, then fill the queue.
+	deadline := time.After(5 * time.Second)
+	for s.Stats().Started != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("worker never started the first job")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	slow("queued") // sits in the queue (capacity 1)
+	for s.Stats().QueueDepth != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("second job never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do("rejected", func() (*metrics.Run, error) {
+			return fakeRun("bitonic", 1), nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("err = %v, want ErrQueueFull", err)
+		}
+		if !strings.Contains(err.Error(), "capacity 1") {
+			t.Fatalf("error lacks capacity detail: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do blocked on a full queue instead of rejecting")
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestClose: Do after Close errors; queued work completes first.
+func TestClose(t *testing.T) {
+	s := New(Options{Workers: 1})
+	if _, _, err := s.Do("k", func() (*metrics.Run, error) { return fakeRun("fft", 1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, _, err := s.Do("k2", func() (*metrics.Run, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestDistinctKeysRunConcurrently sanity-checks the pool actually fans
+// out: with 4 workers, 4 distinct blocked runs are all in flight.
+func TestDistinctKeysRunConcurrently(t *testing.T) {
+	s := New(Options{Workers: 4, NoCache: true})
+	defer s.Close()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Do(fmt.Sprintf("k%d", i), func() (*metrics.Run, error) {
+				<-release
+				return fakeRun("fft", 1), nil
+			})
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for s.Stats().Started != 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool did not fan out: %+v", s.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestSourceString(t *testing.T) {
+	if Executed.String() != "executed" || Cached.String() != "cached" || Coalesced.String() != "coalesced" {
+		t.Fatal("bad source names")
+	}
+	if Source(9).String() != "source(9)" {
+		t.Fatal("unknown source name")
+	}
+}

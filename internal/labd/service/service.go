@@ -1,0 +1,333 @@
+// Package service is the HTTP layer of the emxd experiment daemon: it
+// maps requests onto the labd scheduler, so identical experiment
+// configurations are deduplicated, cached, and executed on a bounded
+// worker pool regardless of how many clients ask for them.
+//
+// Endpoints:
+//
+//	POST /v1/run     execute (or fetch) one simulation point
+//	POST /v1/figure  build a whole figure panel (see harness.PanelNames)
+//	GET  /v1/status  scheduler and cache state as JSON
+//	GET  /metrics    Prometheus text exposition
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"emx/internal/harness"
+	"emx/internal/labd"
+	"emx/internal/metrics"
+	"emx/internal/proc"
+)
+
+// Options configures a Server. Zero values select the harness defaults
+// (DefaultScale, seed 1) and labd's pool defaults.
+type Options struct {
+	// Scale is the default scale-down factor for requests that omit one.
+	Scale int
+	// Seed is the default input generator seed.
+	Seed int64
+	// Sched configures the underlying scheduler (workers, queue, cache).
+	Sched labd.Options
+}
+
+// Server owns a scheduler and serves the experiment API on it.
+type Server struct {
+	opts  Options
+	sched *labd.Scheduler
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server and starts its scheduler.
+func New(opts Options) *Server {
+	if opts.Scale <= 0 {
+		opts.Scale = harness.DefaultScale
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	s := &Server{
+		opts:  opts,
+		sched: labd.New(opts.Sched),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/figure", s.handleFigure)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the underlying scheduler (shared with in-process
+// sweeps and tests).
+func (s *Server) Scheduler() *labd.Scheduler { return s.sched }
+
+// Registry exposes the operational metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.sched.Registry() }
+
+// Close stops the scheduler, draining queued runs.
+func (s *Server) Close() { s.sched.Close() }
+
+// RunRequest is the body of POST /v1/run: one simulation point in the
+// paper's vocabulary. N is the paper-equivalent size; the simulated
+// size is derived via the scale factor exactly as harness sweeps do.
+type RunRequest struct {
+	Workload  string `json:"workload"`             // bitonic | fft | spmv
+	P         int    `json:"p"`                    // processors
+	H         int    `json:"h"`                    // threads per processor
+	N         int    `json:"n"`                    // paper-equivalent element count
+	Scale     int    `json:"scale,omitempty"`      // 0: server default
+	Seed      int64  `json:"seed,omitempty"`       // 0: server default
+	Mode      string `json:"mode,omitempty"`       // "bypass" (default) | "exu"
+	BlockRead bool   `json:"block_read,omitempty"` // bitonic block-read ablation
+	ReplyHigh bool   `json:"reply_high,omitempty"` // resume-first reply scheduling
+	Verify    bool   `json:"verify,omitempty"`     // run the workload self-check
+}
+
+// RunResponse reports one point's measurements and how they were
+// obtained (executed, cached, or coalesced).
+type RunResponse struct {
+	Key             string  `json:"key"`
+	Source          string  `json:"source"`
+	Workload        string  `json:"workload"`
+	P               int     `json:"p"`
+	H               int     `json:"h"`
+	SimN            int     `json:"sim_n"`
+	PaperN          int     `json:"paper_n"`
+	MakespanCycles  uint64  `json:"makespan_cycles"`
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	CommMeanCycles  float64 `json:"comm_mean_cycles"`
+	ComputePct      float64 `json:"compute_pct"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	CommPct         float64 `json:"comm_pct"`
+	SwitchPct       float64 `json:"switch_pct"`
+	Switches        uint64  `json:"switches"`
+}
+
+// FigureRequest is the body of POST /v1/figure.
+type FigureRequest struct {
+	Fig   string `json:"fig"`             // panel name, see harness.PanelNames
+	Scale int    `json:"scale,omitempty"` // 0: server default
+	Seed  int64  `json:"seed,omitempty"`  // 0: server default
+}
+
+// FigureResponse carries the panel's figures.
+type FigureResponse struct {
+	Fig     string           `json:"fig"`
+	Scale   int              `json:"scale"`
+	Seed    int64            `json:"seed"`
+	Figures []harness.Figure `json:"figures"`
+}
+
+// StatusResponse is GET /v1/status.
+type StatusResponse struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Workers       int                `json:"workers"`
+	QueueDepth    int                `json:"queue_depth"`
+	QueueCap      int                `json:"queue_cap"`
+	CacheEntries  int                `json:"cache_entries"`
+	CacheCap      int                `json:"cache_cap"`
+	DefaultScale  int                `json:"default_scale"`
+	DefaultSeed   int64              `json:"default_seed"`
+	Panels        []string           `json:"panels"`
+	Counters      map[string]float64 `json:"counters"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, labd.ErrQueueFull):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, labd.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ps, scale, err := s.pointSpec(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	run, src, err := s.sched.Do(ps.Key(scale), func() (*metrics.Run, error) {
+		return harness.RunPoint(ps)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	b := run.TotalBreakdown()
+	c, o, m, sw := b.Fractions()
+	writeJSON(w, http.StatusOK, RunResponse{
+		Key:             ps.Key(scale),
+		Source:          src.String(),
+		Workload:        ps.Workload.String(),
+		P:               run.P,
+		H:               run.H,
+		SimN:            run.N,
+		PaperN:          run.PaperN,
+		MakespanCycles:  uint64(run.Makespan),
+		MakespanSeconds: float64(run.Makespan) * 50e-9,
+		CommMeanCycles:  run.MeanCommTime(),
+		ComputePct:      100 * c,
+		OverheadPct:     100 * o,
+		CommPct:         100 * m,
+		SwitchPct:       100 * sw,
+		Switches:        run.SumCounter((*metrics.PE).TotalSwitches),
+	})
+}
+
+// pointSpec validates a run request and resolves it to a PointSpec.
+func (s *Server) pointSpec(req RunRequest) (harness.PointSpec, int, error) {
+	w, err := harness.ParseWorkload(strings.ToLower(req.Workload))
+	if err != nil {
+		return harness.PointSpec{}, 0, err
+	}
+	if req.P < 1 {
+		return harness.PointSpec{}, 0, fmt.Errorf("p must be >= 1, got %d", req.P)
+	}
+	if req.H < 1 {
+		return harness.PointSpec{}, 0, fmt.Errorf("h must be >= 1, got %d", req.H)
+	}
+	if req.N < 1 {
+		return harness.PointSpec{}, 0, fmt.Errorf("n must be >= 1, got %d", req.N)
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = s.opts.Scale
+	}
+	if scale < 1 {
+		return harness.PointSpec{}, 0, fmt.Errorf("scale must be >= 1, got %d", scale)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return harness.PointSpec{}, 0, err
+	}
+	sw := harness.Sweep{P: req.P, Scale: scale, Threads: []int{req.H}}
+	return harness.PointSpec{
+		Workload:  w,
+		P:         req.P,
+		SimN:      sw.SimSize(req.N),
+		PaperN:    req.N,
+		H:         req.H,
+		Mode:      mode,
+		BlockRead: req.BlockRead,
+		ReplyHigh: req.ReplyHigh,
+		Seed:      seed,
+		Verify:    req.Verify,
+	}, scale, nil
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req FigureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	name := strings.ToLower(req.Fig)
+	if !harness.ValidPanel(name) {
+		writeError(w, fmt.Errorf("unknown panel %q: valid panels are %s",
+			req.Fig, strings.Join(harness.PanelNames(), ", ")))
+		return
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = s.opts.Scale
+	}
+	if scale < 1 {
+		writeError(w, fmt.Errorf("scale must be >= 1, got %d", scale))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	pr := harness.NewPanelRunner(harness.PanelOptions{Scale: scale, Seed: seed}, s.sched)
+	figs, err := pr.Panel(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FigureResponse{
+		Fig: name, Scale: scale, Seed: seed, Figures: figs,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       st.Workers,
+		QueueDepth:    st.QueueDepth,
+		QueueCap:      st.QueueCap,
+		CacheEntries:  st.CacheLen,
+		CacheCap:      st.CacheCap,
+		DefaultScale:  s.opts.Scale,
+		DefaultSeed:   s.opts.Seed,
+		Panels:        harness.PanelNames(),
+		Counters:      s.sched.Registry().Snapshot(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.sched.Registry().WriteProm(w)
+}
+
+func parseMode(mode string) (proc.ServiceMode, error) {
+	switch strings.ToLower(mode) {
+	case "", "bypass":
+		return proc.ServiceBypass, nil
+	case "exu", "em4", "em-4":
+		return proc.ServiceEXU, nil
+	}
+	return 0, fmt.Errorf("unknown service mode %q (want bypass or exu)", mode)
+}

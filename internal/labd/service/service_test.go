@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"emx/internal/labd"
+	"emx/internal/metrics"
+)
+
+// hugeScale clamps every panel size to the minimum grid, keeping test
+// simulations tiny.
+const hugeScale = 1 << 20
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{Scale: hugeScale, Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := RunRequest{Workload: "fft", P: 4, H: 2, N: 64 << 10, Verify: true}
+
+	resp := postJSON(t, ts.URL+"/v1/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	first := decode[RunResponse](t, resp)
+	if first.Source != "executed" {
+		t.Fatalf("first request source %q, want executed", first.Source)
+	}
+	if first.MakespanCycles == 0 || first.Workload != "fft" || first.P != 4 || first.H != 2 {
+		t.Fatalf("bad response %+v", first)
+	}
+	if len(first.Key) != 64 {
+		t.Fatalf("key %q is not a content hash", first.Key)
+	}
+
+	// The identical request is a cache hit with the same measurements.
+	second := decode[RunResponse](t, postJSON(t, ts.URL+"/v1/run", req))
+	if second.Source != "cached" {
+		t.Fatalf("second request source %q, want cached", second.Source)
+	}
+	if second.MakespanCycles != first.MakespanCycles || second.Key != first.Key {
+		t.Fatalf("cached response differs: %+v vs %+v", second, first)
+	}
+
+	// A different seed is a different run.
+	req.Seed = 7
+	third := decode[RunResponse](t, postJSON(t, ts.URL+"/v1/run", req))
+	if third.Source != "executed" || third.Key == first.Key {
+		t.Fatalf("distinct request not re-executed: %+v", third)
+	}
+}
+
+func TestRunEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []RunRequest{
+		{Workload: "quicksort", P: 4, H: 1, N: 1024},
+		{Workload: "fft", P: 0, H: 1, N: 1024},
+		{Workload: "fft", P: 4, H: 0, N: 1024},
+		{Workload: "fft", P: 4, H: 1, N: 0},
+		{Workload: "fft", P: 4, H: 1, N: 1024, Mode: "warp"},
+		{Workload: "fft", P: 4, H: 1, N: 1024, Scale: -1},
+	}
+	for i, req := range bad {
+		resp := postJSON(t, ts.URL+"/v1/run", req)
+		e := decode[struct {
+			Error string `json:"error"`
+		}](t, resp)
+		if resp.StatusCode != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("bad request %d: status %d, error %q", i, resp.StatusCode, e.Error)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run: status %d", resp.StatusCode)
+	}
+}
+
+// TestFigureCacheHit is the subsystem's acceptance test: a repeated
+// identical /v1/figure request is served entirely from cache — zero new
+// simulator executions, asserted via the scheduler's counters.
+func TestFigureCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	first := decode[FigureResponse](t, postJSON(t, ts.URL+"/v1/figure", FigureRequest{Fig: "6a"}))
+	if first.Fig != "6a" || len(first.Figures) != 1 {
+		t.Fatalf("bad figure response %+v", first)
+	}
+	f := first.Figures[0]
+	if len(f.Series) == 0 || len(f.X) == 0 || f.SimCycles == 0 {
+		t.Fatalf("empty figure %+v", f)
+	}
+	started := srv.Scheduler().Stats().Started
+	if started == 0 {
+		t.Fatal("first figure ran no simulations")
+	}
+	hitsBefore := srv.Scheduler().Stats().CacheHits
+
+	second := decode[FigureResponse](t, postJSON(t, ts.URL+"/v1/figure", FigureRequest{Fig: "6a"}))
+	st := srv.Scheduler().Stats()
+	if st.Started != started {
+		t.Fatalf("repeated figure executed %d new simulations", st.Started-started)
+	}
+	if st.CacheHits <= hitsBefore {
+		t.Fatalf("repeated figure produced no cache hits: %+v", st)
+	}
+	// Identical results, byte for byte.
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached figure differs from the original")
+	}
+}
+
+func TestFigureUnknownPanel(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/figure", FigureRequest{Fig: "42z"})
+	e := decode[struct {
+		Error string `json:"error"`
+	}](t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "6a") || !strings.Contains(e.Error, "latency") {
+		t.Fatalf("error does not list valid panels: %q", e.Error)
+	}
+}
+
+func TestStatusAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Populate one run so counters move.
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := decode[StatusResponse](t, resp)
+	if status.Workers < 1 || status.QueueCap < 1 || status.CacheCap < 1 {
+		t.Fatalf("bad status %+v", status)
+	}
+	if status.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", status.CacheEntries)
+	}
+	if status.Counters["emxd_runs_started_total"] != 1 {
+		t.Fatalf("counters %v", status.Counters)
+	}
+	if len(status.Panels) == 0 {
+		t.Fatal("status lists no panels")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	out := buf.String()
+	for _, want := range []string{
+		"emxd_runs_started_total 1",
+		"emxd_runs_completed_total 1",
+		"# TYPE emxd_queue_depth gauge",
+		`emxd_workload_cycles_total{workload="bitonic"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBackpressure503: a full queue surfaces as HTTP 503 + Retry-After.
+func TestBackpressure503(t *testing.T) {
+	srv := New(Options{Scale: hugeScale, Sched: labd.Options{Workers: 1, QueueSize: 1, NoCache: true}})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	// Hold the single worker and the one queue slot with blocked runs
+	// submitted directly to the shared scheduler.
+	release := make(chan struct{})
+	done := make(chan struct{}, 2)
+	for _, key := range []string{"held-by-worker", "held-in-queue"} {
+		key := key
+		go func() {
+			srv.Scheduler().Do(key, func() (*metrics.Run, error) {
+				<-release
+				return &metrics.Run{Label: "stub"}, nil
+			})
+			done <- struct{}{}
+		}()
+	}
+	deadline := time.After(5 * time.Second)
+	for srv.Scheduler().Stats().Started != 1 || srv.Scheduler().Stats().QueueDepth != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("could not saturate pool: %+v", srv.Scheduler().Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "fft", P: 4, H: 1, N: 1024})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	e := decode[struct {
+		Error string `json:"error"`
+	}](t, resp)
+	if !strings.Contains(e.Error, "queue full") {
+		t.Fatalf("error %q", e.Error)
+	}
+	close(release)
+	<-done
+	<-done
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing operational metric, safe for
+// concurrent use. Unlike the per-run measurement structs above, counters
+// describe the serving system (internal/labd), not the simulated machine.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add accumulates n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Registry names a set of counters and gauges and renders them in the
+// Prometheus text exposition format. It is deliberately tiny — stdlib
+// only — and supports exactly what emxd's /metrics endpoint needs:
+// plain counters, counters with one label dimension, and computed
+// gauges (queue depth, cache size).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	labeled  map[string]map[string]*Counter // name -> label value -> counter
+	labelKey map[string]string              // name -> label key
+	gauges   map[string]func() float64
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		labeled:  map[string]map[string]*Counter{},
+		labelKey: map[string]string{},
+		gauges:   map[string]func() float64{},
+		help:     map[string]string{},
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Labeled returns the counter for one value of the metric's single
+// label dimension, registering metric and value on first use. A metric
+// name keeps the label key of its first registration.
+func (r *Registry) Labeled(name, help, labelKey, labelValue string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vals, ok := r.labeled[name]
+	if !ok {
+		vals = map[string]*Counter{}
+		r.labeled[name] = vals
+		r.labelKey[name] = labelKey
+		r.help[name] = help
+	}
+	c, ok := vals[labelValue]
+	if !ok {
+		c = &Counter{}
+		vals[labelValue] = c
+	}
+	return c
+}
+
+// Gauge registers a computed gauge: fn is evaluated at exposition time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+	r.help[name] = help
+}
+
+// Snapshot returns every metric's current value keyed by its exposition
+// name (labeled series as name{key="value"}), for JSON status endpoints.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]float64{}
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, vals := range r.labeled {
+		for lv, c := range vals {
+			out[fmt.Sprintf("%s{%s=%q}", name, r.labelKey[name], lv)] = float64(c.Value())
+		}
+	}
+	for name, fn := range r.gauges {
+		out[name] = fn()
+	}
+	return out
+}
+
+// WriteProm renders the registry in the Prometheus text format, metrics
+// sorted by name (and label value within a metric) so output is stable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	type metric struct {
+		name, kind string
+		lines      []string
+	}
+	var ms []metric
+	for name, c := range r.counters {
+		ms = append(ms, metric{name, "counter",
+			[]string{fmt.Sprintf("%s %d", name, c.Value())}})
+	}
+	for name, vals := range r.labeled {
+		var lines []string
+		lvs := make([]string, 0, len(vals))
+		for lv := range vals {
+			lvs = append(lvs, lv)
+		}
+		sort.Strings(lvs)
+		for _, lv := range lvs {
+			lines = append(lines, fmt.Sprintf("%s{%s=%q} %d", name, r.labelKey[name], lv, vals[lv].Value()))
+		}
+		ms = append(ms, metric{name, "counter", lines})
+	}
+	for name, fn := range r.gauges {
+		ms = append(ms, metric{name, "gauge",
+			[]string{fmt.Sprintf("%s %g", name, fn())}})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b strings.Builder
+	for _, m := range ms {
+		if h := help[m.name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		for _, line := range m.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
