@@ -26,7 +26,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"emx/internal/harness"
 	"emx/internal/labd"
@@ -39,13 +42,34 @@ func main() {
 
 // Snapshot is the -format json output: every requested panel with its
 // simulated-cycle total, suitable for committing as BENCH_<date>.json
-// to track the perf trajectory. Byte-identical across reruns with the
-// same flags (no timestamps; the simulator is deterministic).
+// to track the perf trajectory. Panels are byte-identical across reruns
+// with the same flags (no timestamps; the simulator is deterministic);
+// the host block is the one deliberately non-deterministic part — it
+// measures how fast this host ran the simulations, not what they
+// computed.
 type Snapshot struct {
 	Paper  string           `json:"paper"`
 	Scale  int              `json:"scale"`
 	Seed   int64            `json:"seed"`
+	Host   *HostStats       `json:"host,omitempty"`
 	Panels []harness.Figure `json:"panels"`
+}
+
+// HostStats is the simulator's host throughput for one emxbench
+// invocation: simulated cycles and engine events per wall-clock second.
+// Only present for in-process runs (-remote has its own host; query its
+// /v1/status instead). WallSeconds spans panel generation end to end,
+// so CyclesPerSecond reflects whole-machine throughput including
+// worker parallelism; HostRunSeconds sums per-run time across workers.
+type HostStats struct {
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCycles       uint64  `json:"sim_cycles_total"`
+	SimEvents       uint64  `json:"sim_events_total"`
+	HostRunSeconds  float64 `json:"host_run_seconds_total"`
+	CyclesPerSecond float64 `json:"sim_cycles_per_second"`
+	EventsPerSecond float64 `json:"sim_events_per_second"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -58,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		seed    = fs.Int64("seed", 1, "input generator seed")
 		remote  = fs.String("remote", "", "base URL of a running emxd daemon (empty: run in-process)")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: emxbench [flags]")
@@ -102,15 +128,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		names = harness.PanelNames()
 	}
 
-	var panel func(string) ([]harness.Figure, error)
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(stderr, "emxbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "emxbench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprof, stderr)
+
+	// sched is non-nil only for in-process runs; it supplies the host
+	// throughput counters for the JSON snapshot.
+	var (
+		sched *labd.Scheduler
+		panel func(string) ([]harness.Figure, error)
+	)
 	if *remote != "" {
 		panel = remotePanels(*remote, *scale, *seed)
 	} else {
-		var cleanup func()
-		panel, cleanup = localPanels(*scale, *seed, *workers, stderr)
-		defer cleanup()
+		sched, panel = localPanels(*scale, *seed, *workers, stderr)
+		defer sched.Close()
 	}
 
+	start := time.Now()
 	var collected []harness.Figure
 	for _, n := range names {
 		figs, err := panel(n)
@@ -126,15 +175,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	wall := time.Since(start).Seconds()
 	if render == nil {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(Snapshot{
+		snap := Snapshot{
 			Paper:  "EM-X (SPAA 1997)",
 			Scale:  *scale,
 			Seed:   *seed,
 			Panels: collected,
-		}); err != nil {
+		}
+		if sched != nil {
+			snap.Host = hostStats(sched.Stats(), wall)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
 			fmt.Fprintln(stderr, "emxbench:", err)
 			return 1
 		}
@@ -142,10 +196,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// hostStats derives the snapshot's host block from the scheduler's
+// throughput counters and the measured wall time.
+func hostStats(st labd.Stats, wall float64) *HostStats {
+	h := &HostStats{
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Workers:        st.Workers,
+		WallSeconds:    wall,
+		SimCycles:      st.SimCycles,
+		SimEvents:      st.SimEvents,
+		HostRunSeconds: st.HostSeconds,
+	}
+	if wall > 0 {
+		h.CyclesPerSecond = float64(st.SimCycles) / wall
+		h.EventsPerSecond = float64(st.SimEvents) / wall
+	}
+	return h
+}
+
+// writeMemProfile records the heap profile after a final GC, so live
+// allocations dominate over garbage.
+func writeMemProfile(path string, stderr io.Writer) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "emxbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(stderr, "emxbench:", err)
+	}
+}
+
 // localPanels builds panels in-process through a transient labd
-// scheduler, exactly the execution path emxd serves. The returned
-// cleanup stops the scheduler.
-func localPanels(scale int, seed int64, workers int, stderr io.Writer) (func(string) ([]harness.Figure, error), func()) {
+// scheduler, exactly the execution path emxd serves. The caller owns
+// the scheduler and must Close it.
+func localPanels(scale int, seed int64, workers int, stderr io.Writer) (*labd.Scheduler, func(string) ([]harness.Figure, error)) {
 	sched := labd.New(labd.Options{Workers: workers})
 	pr := harness.NewPanelRunner(harness.PanelOptions{
 		Scale: scale,
@@ -154,7 +244,7 @@ func localPanels(scale int, seed int64, workers int, stderr io.Writer) (func(str
 			fmt.Fprintf(stderr, "emxbench: "+format+"\n", args...)
 		},
 	}, sched)
-	return pr.Panel, sched.Close
+	return sched, pr.Panel
 }
 
 // remotePanels requests panels from a running emxd daemon.

@@ -67,12 +67,27 @@ func TestJSONSnapshot(t *testing.T) {
 	if p.ID != "fig6-bitonic-P16" || p.SimCycles == 0 || len(p.Series) != 5 {
 		t.Fatalf("panel %+v", p)
 	}
+	h := snap.Host
+	if h == nil {
+		t.Fatal("in-process snapshot missing host block")
+	}
+	if h.SimCycles == 0 || h.SimEvents == 0 || h.WallSeconds <= 0 ||
+		h.HostRunSeconds <= 0 || h.CyclesPerSecond <= 0 || h.EventsPerSecond <= 0 {
+		t.Fatalf("host block not populated: %+v", h)
+	}
 
-	// The snapshot is byte-identical across reruns (perf trajectory
-	// files diff cleanly).
+	// Everything except the host block is byte-identical across reruns
+	// (perf trajectory files diff cleanly modulo host timing).
 	_, stdout2, _ := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "json")
-	if stdout != stdout2 {
-		t.Fatal("json snapshot not deterministic")
+	var snap2 Snapshot
+	if err := json.Unmarshal([]byte(stdout2), &snap2); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, stdout2)
+	}
+	snap.Host, snap2.Host = nil, nil
+	b1, _ := json.Marshal(snap)
+	b2, _ := json.Marshal(snap2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("json snapshot panels not deterministic")
 	}
 }
 

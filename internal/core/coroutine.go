@@ -32,11 +32,12 @@ type yieldMsg struct {
 	op any
 }
 
-// Operations a thread can yield. Each corresponds to one or more EMC-Y
-// instructions; the exu translates them into cycle charges and packets.
+// Operations a thread can yield — the true suspension points. Each
+// corresponds to one or more EMC-Y instructions; the exu translates
+// them into cycle charges and packets. Non-suspending operations
+// (compute, remote write, local store) travel in the thread's
+// operation buffer instead (see bufOp).
 type (
-	// opCompute burns cycles of user computation.
-	opCompute struct{ cycles sim.Time }
 	// opRead issues a split-phase remote read and suspends.
 	opRead struct{ addr packet.GlobalAddr }
 	// opReadBlock issues a block read request and suspends until all
@@ -44,11 +45,6 @@ type (
 	opReadBlock struct {
 		addr packet.GlobalAddr
 		n    int
-	}
-	// opWrite issues a remote write; the thread does not suspend.
-	opWrite struct {
-		addr packet.GlobalAddr
-		data packet.Word
 	}
 	// opSpawn sends an invoke packet enabling fn on a (possibly remote) PE.
 	opSpawn struct {
@@ -62,16 +58,37 @@ type (
 	opYield struct{ kind metrics.SwitchKind }
 	// opLocalLoad reads the PE's own memory through the EXU/MCU port.
 	opLocalLoad struct{ off uint32 }
-	// opLocalStore writes the PE's own memory through the EXU/MCU port.
-	opLocalStore struct {
-		off  uint32
-		data packet.Word
-	}
 	// opDone signals normal completion of the thread body.
 	opDone struct{}
 	// opPanic forwards a workload panic to the machine.
 	opPanic struct{ reason any }
+	// opFlush carries no operation of its own: it hands control to the
+	// engine so the thread's buffered non-suspending operations are
+	// applied, then resumes the coroutine at the resulting time. TC
+	// yields it before anything that must observe up-to-date state
+	// (Now, PeekLocal, PokeLocal) while the buffer is non-empty.
+	opFlush struct{}
 )
+
+// Buffered non-suspending operations. TC appends these to the thread's
+// operation buffer instead of yielding, so the two goroutine handoffs
+// per operation happen only at true suspension points. The engine
+// replays the buffer one event per op at the next yield, reproducing
+// the exact event sequence the unbuffered path would have produced —
+// that replay is what keeps results bit-identical.
+const (
+	bufCompute uint8 = iota
+	bufWrite
+	bufLocalStore
+)
+
+type bufOp struct {
+	kind   uint8
+	off    uint32            // bufLocalStore
+	addr   packet.GlobalAddr // bufWrite
+	data   packet.Word       // bufWrite, bufLocalStore
+	cycles sim.Time          // bufCompute
+}
 
 // thrState tracks where a thread is in its lifecycle, for diagnostics.
 type thrState uint8
@@ -120,6 +137,21 @@ type thr struct {
 	resume chan resumeMsg
 	state  thrState
 	rw     *readWait
+
+	// Operation buffer: non-suspending ops appended by TC between two
+	// yields. bufIdx is the engine's replay position; final is the
+	// yielded (suspending) op replayed after the buffer drains. The
+	// backing array is reused across yields.
+	buf    []bufOp
+	bufIdx int
+	final  any
+
+	// Continuation context for the exu's allocation-free event
+	// handlers: the resume payload and the packet to inject, staged
+	// here instead of in per-event closures.
+	resumeVal  packet.Word
+	resumeVals []packet.Word
+	pendingPkt *packet.Packet
 }
 
 func (t *thr) String() string {
@@ -162,10 +194,17 @@ func (t *thr) yieldOp(op any) resumeMsg {
 // step resumes thread t with msg and waits for its next operation.
 // Called only from the engine side; exactly one coroutine runs at a time,
 // so workload code never races with the simulator.
+//
+// m.cur marks the running coroutine for the duration of the step: it is
+// non-nil exactly while workload code executes (the channel handoffs
+// order the writes), letting runtime primitives called from workload
+// code (WaitSet.Notify) flush the thread's operation buffer first.
 func (m *Machine) step(t *thr, msg resumeMsg) any {
+	m.cur = t
 	t.state = stRunning
 	t.resume <- msg
 	y := <-m.yieldCh
+	m.cur = nil
 	if y.t != t {
 		panic(fmt.Sprintf("core: yield from %v while stepping %v", y.t, t))
 	}

@@ -15,6 +15,11 @@ import (
 // Unit: it dispatches packets from the hardware FIFO queue, runs thread
 // coroutines, charges cycles to the four accounting buckets, and issues
 // packets through the PE's OBU.
+//
+// Continuation events use the engine's handler lane; per-event context
+// (the thread, the packet to inject, the resume payload) is staged on
+// the thr or passed through EventArg, so steady-state execution does
+// not allocate closures.
 type exu struct {
 	m  *Machine
 	pe packet.PE
@@ -24,10 +29,123 @@ type exu struct {
 	busy         bool
 	idleSince    sim.Time // valid when !busy
 	restoredSeen uint64   // spill restores already charged
+
+	hApply         sim.Handler
+	hInjectApply   sim.Handler
+	hInjectResume  sim.Handler
+	hResume        sim.Handler
+	hStart         sim.Handler
+	hRun           sim.Handler
+	hDispatch      sim.Handler
+	hPushDispatch  sim.Handler
+	hInjectSaveDsp sim.Handler
+	hHandle        sim.Handler
+	hService       sim.Handler
 }
 
 func newEXU(m *Machine, pe packet.PE) *exu {
-	return &exu{m: m, pe: pe, p: m.Procs[pe], st: &m.stats[pe], idleSince: 0}
+	x := &exu{m: m, pe: pe, p: m.Procs[pe], st: &m.stats[pe], idleSince: 0}
+	x.hApply = applyH{x}
+	x.hInjectApply = injectApplyH{x}
+	x.hInjectResume = injectResumeH{x}
+	x.hResume = resumeH{x}
+	x.hStart = startH{x}
+	x.hRun = runH{x}
+	x.hDispatch = dispatchH{x}
+	x.hPushDispatch = pushDispatchH{x}
+	x.hInjectSaveDsp = injectSaveDispatchH{x}
+	x.hHandle = handleH{x}
+	x.hService = serviceH{x}
+	return x
+}
+
+// applyH continues replaying a thread's operation buffer.
+type applyH struct{ x *exu }
+
+func (h applyH) OnEvent(arg sim.EventArg) { h.x.apply(arg.Ptr.(*thr)) }
+
+// injectApplyH injects the thread's staged packet, then continues the
+// buffer replay (remote writes: the thread does not suspend).
+type injectApplyH struct{ x *exu }
+
+func (h injectApplyH) OnEvent(arg sim.EventArg) {
+	t := arg.Ptr.(*thr)
+	pkt := t.pendingPkt
+	t.pendingPkt = nil
+	h.x.p.Inject(pkt)
+	h.x.apply(t)
+}
+
+// injectResumeH injects the thread's staged packet, then resumes the
+// coroutine (spawn and sync sends do not suspend).
+type injectResumeH struct{ x *exu }
+
+func (h injectResumeH) OnEvent(arg sim.EventArg) {
+	t := arg.Ptr.(*thr)
+	pkt := t.pendingPkt
+	t.pendingPkt = nil
+	h.x.p.Inject(pkt)
+	h.x.execResume(t)
+}
+
+// resumeH resumes the coroutine with its staged payload (local loads).
+type resumeH struct{ x *exu }
+
+func (h resumeH) OnEvent(arg sim.EventArg) { h.x.execResume(arg.Ptr.(*thr)) }
+
+// startH begins a freshly invoked thread after frame setup.
+type startH struct{ x *exu }
+
+func (h startH) OnEvent(arg sim.EventArg) {
+	t := arg.Ptr.(*thr)
+	h.x.m.trace(TraceStart, t)
+	h.x.execResume(t)
+}
+
+// runH continues a suspended thread after the register restore.
+type runH struct{ x *exu }
+
+func (h runH) OnEvent(arg sim.EventArg) {
+	t := arg.Ptr.(*thr)
+	h.x.m.trace(TraceRun, t)
+	h.x.execResume(t)
+}
+
+// dispatchH pops the next queue packet.
+type dispatchH struct{ x *exu }
+
+func (h dispatchH) OnEvent(sim.EventArg) { h.x.dispatch() }
+
+// pushDispatchH requeues an explicitly yielded thread, then dispatches.
+type pushDispatchH struct{ x *exu }
+
+func (h pushDispatchH) OnEvent(arg sim.EventArg) {
+	h.x.p.PushLocal(thread.Low, arg.Ptr.(*packet.Packet))
+	h.x.dispatch()
+}
+
+// injectSaveDispatchH sends a read request, charges the register save,
+// and dispatches the next thread (the split-phase suspension).
+type injectSaveDispatchH struct{ x *exu }
+
+func (h injectSaveDispatchH) OnEvent(arg sim.EventArg) {
+	x := h.x
+	x.p.Inject(arg.Ptr.(*packet.Packet))
+	x.st.Times.Switch += x.m.Cfg.SaveCycles
+	x.m.Eng.AfterHandler(x.m.Cfg.SaveCycles, x.hDispatch, sim.EventArg{})
+}
+
+// handleH interprets a dequeued packet after the Matching Unit delay.
+type handleH struct{ x *exu }
+
+func (h handleH) OnEvent(arg sim.EventArg) { h.x.handle(arg.Ptr.(*packet.Packet)) }
+
+// serviceH services a remote-memory request on the EXU (EM-4 mode).
+type serviceH struct{ x *exu }
+
+func (h serviceH) OnEvent(arg sim.EventArg) {
+	h.x.p.ServiceOnEXU(arg.Ptr.(*packet.Packet))
+	h.x.dispatch()
 }
 
 // wake is called whenever a packet is pushed to this PE's queue.
@@ -61,7 +179,7 @@ func (x *exu) dispatch() {
 		x.restoredSeen = restored
 	}
 	x.st.Times.Switch += cost
-	x.m.Eng.After(cost, func() { x.handle(pkt) })
+	x.m.Eng.AfterHandler(cost, x.hHandle, sim.EventArg{Ptr: pkt})
 }
 
 // handle interprets one dequeued packet.
@@ -85,10 +203,8 @@ func (x *exu) handle(pkt *packet.Packet) {
 		go t.main()
 		// Frame allocation and argument deposit.
 		x.st.Times.Switch += x.m.Cfg.SpawnCycles
-		x.m.Eng.After(x.m.Cfg.SpawnCycles, func() {
-			x.m.trace(TraceStart, t)
-			x.exec(t, resumeMsg{val: pkt.Data})
-		})
+		t.resumeVal = pkt.Data
+		x.m.Eng.AfterHandler(x.m.Cfg.SpawnCycles, x.hStart, sim.EventArg{Ptr: t})
 
 	case packet.KindReadReply:
 		t := x.threadOf(pkt.Cont.Frame)
@@ -111,11 +227,13 @@ func (x *exu) handle(pkt *packet.Packet) {
 			return
 		}
 		t.rw = nil
-		x.resumeThread(t, resumeMsg{val: rw.buf[0], vals: rw.buf})
+		t.resumeVal = rw.buf[0]
+		t.resumeVals = rw.buf
+		x.resumeThread(t)
 
 	case packet.KindResume:
 		t := x.threadOf(pkt.Cont.Frame)
-		x.resumeThread(t, resumeMsg{})
+		x.resumeThread(t)
 
 	case packet.KindSync:
 		x.m.barrierToken(x.pe, pkt)
@@ -124,10 +242,7 @@ func (x *exu) handle(pkt *packet.Packet) {
 	case packet.KindReadReq, packet.KindBlockReadReq, packet.KindWrite:
 		// ServiceEXU mode (EM-4): the request steals EXU cycles.
 		x.st.Times.Overhead += x.m.Cfg.EXUServiceCycles
-		x.m.Eng.After(x.m.Cfg.EXUServiceCycles, func() {
-			x.p.ServiceOnEXU(pkt)
-			x.dispatch()
-		})
+		x.m.Eng.AfterHandler(x.m.Cfg.EXUServiceCycles, x.hService, sim.EventArg{Ptr: pkt})
 
 	default:
 		x.m.fail(fmt.Errorf("core: PE%d cannot handle %v", x.pe, pkt))
@@ -142,28 +257,82 @@ func (x *exu) threadOf(frame uint32) *thr {
 	return f.State.(*thr)
 }
 
-// resumeThread charges register restore and continues the coroutine.
-func (x *exu) resumeThread(t *thr, msg resumeMsg) {
+// resumeThread charges register restore and continues the coroutine with
+// the payload staged on t.
+func (x *exu) resumeThread(t *thr) {
 	x.st.Times.Switch += x.m.Cfg.RestoreCycles
-	x.m.Eng.After(x.m.Cfg.RestoreCycles, func() {
-		x.m.trace(TraceRun, t)
-		x.exec(t, msg)
-	})
+	x.m.Eng.AfterHandler(x.m.Cfg.RestoreCycles, x.hRun, sim.EventArg{Ptr: t})
 }
 
-// exec resumes the coroutine and performs the operation it yields.
+// execResume builds the resume message from the payload staged on t and
+// steps the coroutine.
+func (x *exu) execResume(t *thr) {
+	msg := resumeMsg{val: t.resumeVal, vals: t.resumeVals}
+	t.resumeVal = 0
+	t.resumeVals = nil
+	x.exec(t, msg)
+}
+
+// exec resumes the coroutine, collects the operations it buffered plus
+// the op it yielded on, and starts the engine-side replay.
 func (x *exu) exec(t *thr, msg resumeMsg) {
+	t.final = x.m.step(t, msg)
+	t.bufIdx = 0
+	x.apply(t)
+}
+
+// apply replays one buffered operation as one engine event — exactly the
+// event the unbuffered path would have scheduled — and chains itself
+// until the buffer drains, then performs the yielded op.
+func (x *exu) apply(t *thr) {
 	cfg := &x.m.Cfg
 	eng := x.m.Eng
-	op := x.m.step(t, msg)
-	switch op := op.(type) {
-	case opCompute:
-		if op.cycles < 0 {
-			x.m.fail(fmt.Errorf("core: %v computed negative cycles", t))
-			return
+	if t.bufIdx < len(t.buf) {
+		op := &t.buf[t.bufIdx]
+		t.bufIdx++
+		switch op.kind {
+		case bufCompute:
+			if op.cycles < 0 {
+				x.m.fail(fmt.Errorf("core: %v computed negative cycles", t))
+				return
+			}
+			x.st.Times.Compute += op.cycles
+			eng.AfterHandler(op.cycles, x.hApply, sim.EventArg{Ptr: t})
+
+		case bufWrite:
+			x.st.Times.Overhead += cfg.PacketGenCycles
+			x.st.RemoteWrites++
+			t.pendingPkt = &packet.Packet{
+				Kind: packet.KindWrite,
+				Src:  x.pe,
+				Addr: op.addr,
+				Data: op.data,
+			}
+			eng.AfterHandler(cfg.PacketGenCycles, x.hInjectApply, sim.EventArg{Ptr: t})
+
+		case bufLocalStore:
+			done := x.p.Mem.Write(eng.Now(), memory.PortEXU, op.off, op.data)
+			x.st.Times.Compute += done - eng.Now()
+			eng.AtHandler(done, x.hApply, sim.EventArg{Ptr: t})
 		}
-		x.st.Times.Compute += op.cycles
-		eng.After(op.cycles, func() { x.exec(t, resumeMsg{}) })
+		return
+	}
+
+	op := t.final
+	t.final = nil
+	t.buf = t.buf[:0]
+	t.bufIdx = 0
+	x.finish(t, op)
+}
+
+// finish performs the operation the coroutine suspended on.
+func (x *exu) finish(t *thr, op any) {
+	cfg := &x.m.Cfg
+	eng := x.m.Eng
+	switch op := op.(type) {
+	case opFlush:
+		// Buffered ops are applied; resume the coroutine at this time.
+		x.exec(t, resumeMsg{})
 
 	case opRead:
 		x.issueRead(t, op.addr, 1)
@@ -175,47 +344,28 @@ func (x *exu) exec(t *thr, msg resumeMsg) {
 		}
 		x.issueRead(t, op.addr, op.n)
 
-	case opWrite:
-		x.st.Times.Overhead += cfg.PacketGenCycles
-		x.st.RemoteWrites++
-		eng.After(cfg.PacketGenCycles, func() {
-			x.p.Inject(&packet.Packet{
-				Kind: packet.KindWrite,
-				Src:  x.pe,
-				Addr: op.addr,
-				Data: op.data,
-			})
-			// Remote writes do not suspend the issuing thread.
-			x.exec(t, resumeMsg{})
-		})
-
 	case opWriteSync:
 		x.st.Times.Overhead += cfg.PacketGenCycles
-		eng.After(cfg.PacketGenCycles, func() {
-			x.p.Inject(&packet.Packet{
-				Kind: packet.KindSync,
-				Src:  x.pe,
-				Addr: op.addr,
-				Data: op.data,
-			})
-			x.exec(t, resumeMsg{})
-		})
+		t.pendingPkt = &packet.Packet{
+			Kind: packet.KindSync,
+			Src:  x.pe,
+			Addr: op.addr,
+			Data: op.data,
+		}
+		eng.AfterHandler(cfg.PacketGenCycles, x.hInjectResume, sim.EventArg{Ptr: t})
 
 	case opSpawn:
 		x.st.Times.Overhead += cfg.PacketGenCycles
 		x.st.Invokes++
 		seq := x.m.registerSpawn(op.name, op.fn)
-		pe, arg := op.pe, op.arg
-		eng.After(cfg.PacketGenCycles, func() {
-			x.p.Inject(&packet.Packet{
-				Kind: packet.KindInvoke,
-				Src:  x.pe,
-				Addr: packet.GlobalAddr{PE: pe},
-				Data: arg,
-				Seq:  seq,
-			})
-			x.exec(t, resumeMsg{})
-		})
+		t.pendingPkt = &packet.Packet{
+			Kind: packet.KindInvoke,
+			Src:  x.pe,
+			Addr: packet.GlobalAddr{PE: op.pe},
+			Data: op.arg,
+			Seq:  seq,
+		}
+		eng.AfterHandler(cfg.PacketGenCycles, x.hInjectResume, sim.EventArg{Ptr: t})
 
 	case opWait:
 		x.st.Switches[op.kind]++
@@ -223,31 +373,24 @@ func (x *exu) exec(t *thr, msg resumeMsg) {
 		t.state = stBlocked
 		x.m.trace(TraceYield, t)
 		op.ws.waiters = append(op.ws.waiters, waiter{t: t, cond: op.cond})
-		eng.After(cfg.SpinCheckCycles+cfg.SaveCycles, func() { x.dispatch() })
+		eng.AfterHandler(cfg.SpinCheckCycles+cfg.SaveCycles, x.hDispatch, sim.EventArg{})
 
 	case opYield:
 		x.st.Switches[op.kind]++
 		x.st.Times.Switch += cfg.SpinCheckCycles + cfg.SaveCycles
 		t.state = stQueued
 		x.m.trace(TraceYield, t)
-		eng.After(cfg.SpinCheckCycles+cfg.SaveCycles, func() {
-			x.p.PushLocal(thread.Low, &packet.Packet{
-				Kind: packet.KindResume,
-				Src:  x.pe,
-				Cont: packet.Continuation{PE: x.pe, Frame: t.frame},
-			})
-			x.dispatch()
-		})
+		eng.AfterHandler(cfg.SpinCheckCycles+cfg.SaveCycles, x.hPushDispatch, sim.EventArg{Ptr: &packet.Packet{
+			Kind: packet.KindResume,
+			Src:  x.pe,
+			Cont: packet.Continuation{PE: x.pe, Frame: t.frame},
+		}})
 
 	case opLocalLoad:
 		v, done := x.p.Mem.Read(eng.Now(), memory.PortEXU, op.off)
 		x.st.Times.Compute += done - eng.Now()
-		eng.At(done, func() { x.exec(t, resumeMsg{val: v}) })
-
-	case opLocalStore:
-		done := x.p.Mem.Write(eng.Now(), memory.PortEXU, op.off, op.data)
-		x.st.Times.Compute += done - eng.Now()
-		eng.At(done, func() { x.exec(t, resumeMsg{}) })
+		t.resumeVal = v
+		eng.AtHandler(done, x.hResume, sim.EventArg{Ptr: t})
 
 	case opDone:
 		t.state = stDone
@@ -291,11 +434,7 @@ func (x *exu) issueRead(t *thr, addr packet.GlobalAddr, n int) {
 		Block: block,
 		Cont:  packet.Continuation{PE: x.pe, Frame: t.frame},
 	}
-	x.m.Eng.After(cfg.PacketGenCycles, func() {
-		x.p.Inject(pkt)
-		x.st.Times.Switch += cfg.SaveCycles
-		x.m.Eng.After(cfg.SaveCycles, func() { x.dispatch() })
-	})
+	x.m.Eng.AfterHandler(cfg.PacketGenCycles, x.hInjectSaveDsp, sim.EventArg{Ptr: pkt})
 }
 
 // closeAccounting attributes trailing idle time (after the PE's last

@@ -38,6 +38,12 @@ type Machine struct {
 	allThreads []*thr
 	failure    error
 	ran        bool
+
+	// cur is the coroutine currently executing workload code (non-nil
+	// only while the engine is blocked in step).
+	cur *thr
+
+	hDeliverLocal sim.Handler
 }
 
 type spawnInfo struct {
@@ -56,6 +62,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		yieldCh: make(chan yieldMsg),
 		spawns:  make(map[uint64]spawnInfo),
 	}
+	m.hDeliverLocal = deliverLocalH{m}
 	if cfg.P > 1 {
 		net, err := network.New(m.Eng, cfg.P)
 		if err != nil {
@@ -79,6 +86,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// deliverLocalH completes a 1-PE loopback send.
+type deliverLocalH struct{ m *Machine }
+
+func (h deliverLocalH) OnEvent(arg sim.EventArg) {
+	pkt := arg.Ptr.(*packet.Packet)
+	h.m.Procs[pkt.Dst()].Deliver(pkt)
+}
+
 // route injects a packet into the network (or loops back on a 1-PE
 // machine, where the SU short-circuits everything).
 func (m *Machine) route(pkt *packet.Packet) {
@@ -86,7 +101,7 @@ func (m *Machine) route(pkt *packet.Packet) {
 		m.Net.Send(pkt)
 		return
 	}
-	m.Eng.After(network.HopCycles, func() { m.Procs[pkt.Dst()].Deliver(pkt) })
+	m.Eng.AfterHandler(network.HopCycles, m.hDeliverLocal, sim.EventArg{Ptr: pkt})
 }
 
 // Mem exposes a PE's local memory for workload setup and verification

@@ -13,6 +13,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"emx/internal/apps/bitonic"
 	"emx/internal/apps/fft"
@@ -151,9 +152,15 @@ func (ps PointSpec) Identity(scale int) core.RunIdentity {
 // Key returns the point's content hash — its cache key.
 func (ps PointSpec) Key(scale int) string { return ps.Identity(scale).Hash() }
 
-// RunPoint executes one simulation point.
+// RunPoint executes one simulation point. Besides the simulated
+// measurements it records the host wall-clock time the point took
+// (Run.HostElapsedSecs) — the numerator of the simulator's
+// cycles-per-second throughput, tracked in BENCH_*.json. Host timing is
+// observational only: it never feeds back into the simulation, so
+// results stay bit-identical across hosts.
 func RunPoint(ps PointSpec) (*metrics.Run, error) {
 	cfg := ps.config()
+	start := time.Now()
 	var (
 		run *metrics.Run
 		err error
@@ -183,6 +190,7 @@ func RunPoint(ps PointSpec) (*metrics.Run, error) {
 		return nil, fmt.Errorf("harness: %v P=%d N=%d H=%d: %w", ps.Workload, ps.P, ps.SimN, ps.H, err)
 	}
 	run.PaperN = ps.PaperN
+	run.HostElapsedSecs = time.Since(start).Seconds()
 	return run, nil
 }
 

@@ -100,6 +100,15 @@ type Scheduler struct {
 	coalescedHits  *metrics.Counter
 	rejected       *metrics.Counter
 	workloadCycles func(label string) *metrics.Counter
+
+	// Host-throughput accounting: every executed run contributes its
+	// simulated cycles, engine events, and host wall-clock nanoseconds,
+	// so cycles/sec and events/sec — the simulator's host throughput —
+	// fall out as ratios. Cached and coalesced hits contribute nothing
+	// (no simulation ran for them).
+	simCycles *metrics.Counter
+	simEvents *metrics.Counter
+	hostNanos *metrics.Counter
 }
 
 type job struct {
@@ -144,6 +153,13 @@ func New(o Options) *Scheduler {
 		return reg.Labeled("emxd_workload_cycles_total",
 			"simulated machine cycles executed, by workload", "workload", label)
 	}
+	s.simCycles = reg.Counter("emxd_sim_cycles_total", "simulated machine cycles executed")
+	s.simEvents = reg.Counter("emxd_sim_events_total", "simulation engine events dispatched")
+	s.hostNanos = reg.Counter("emxd_host_run_nanoseconds_total", "host wall-clock nanoseconds spent executing simulations")
+	reg.Gauge("emxd_sim_cycles_per_host_second", "simulated cycles per host second of execution (aggregate across workers)",
+		func() float64 { return rate(s.simCycles.Value(), s.hostNanos.Value()) })
+	reg.Gauge("emxd_sim_events_per_host_second", "engine events per host second of execution (aggregate across workers)",
+		func() float64 { return rate(s.simEvents.Value(), s.hostNanos.Value()) })
 	reg.Gauge("emxd_queue_depth", "runs admitted but not yet started",
 		func() float64 { return float64(len(s.jobs)) })
 	reg.Gauge("emxd_cache_entries", "results held in the LRU cache",
@@ -207,8 +223,13 @@ func (s *Scheduler) worker() {
 			s.failed.Inc()
 		} else {
 			s.completed.Inc()
-			if j.run != nil && j.run.Label != "" {
-				s.workloadCycles(j.run.Label).Add(uint64(j.run.Makespan))
+			if j.run != nil {
+				if j.run.Label != "" {
+					s.workloadCycles(j.run.Label).Add(uint64(j.run.Makespan))
+				}
+				s.simCycles.Add(uint64(j.run.Makespan))
+				s.simEvents.Add(j.run.SimEvents)
+				s.hostNanos.Add(uint64(j.run.HostElapsedSecs * 1e9))
 			}
 		}
 		close(j.done)
@@ -229,6 +250,15 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
+// rate divides a count by nanoseconds expressed as seconds, guarding
+// the before-first-run case.
+func rate(count, nanos uint64) float64 {
+	if nanos == 0 {
+		return 0
+	}
+	return float64(count) / (float64(nanos) / 1e9)
+}
+
 // Stats is a point-in-time snapshot of the scheduler's counters.
 type Stats struct {
 	Started, Completed, Failed   uint64
@@ -236,23 +266,43 @@ type Stats struct {
 	QueueDepth, QueueCap         int
 	CacheLen, CacheCap           int
 	Workers                      int
+
+	// Host throughput over all executed runs (see Throughput for the
+	// derived rates). HostSeconds sums per-run wall-clock time, so with
+	// W busy workers it advances ~W× faster than real time.
+	SimCycles   uint64
+	SimEvents   uint64
+	HostSeconds float64
 }
 
 // Stats returns current operational counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Started:    s.started.Value(),
-		Completed:  s.completed.Value(),
-		Failed:     s.failed.Value(),
-		CacheHits:  s.cacheHits.Value(),
-		Coalesced:  s.coalescedHits.Value(),
-		Rejected:   s.rejected.Value(),
-		QueueDepth: len(s.jobs),
-		QueueCap:   cap(s.jobs),
-		CacheLen:   s.CacheLen(),
-		CacheCap:   s.CacheCap(),
-		Workers:    s.workers,
+		Started:     s.started.Value(),
+		Completed:   s.completed.Value(),
+		Failed:      s.failed.Value(),
+		CacheHits:   s.cacheHits.Value(),
+		Coalesced:   s.coalescedHits.Value(),
+		Rejected:    s.rejected.Value(),
+		QueueDepth:  len(s.jobs),
+		QueueCap:    cap(s.jobs),
+		CacheLen:    s.CacheLen(),
+		CacheCap:    s.CacheCap(),
+		Workers:     s.workers,
+		SimCycles:   s.simCycles.Value(),
+		SimEvents:   s.simEvents.Value(),
+		HostSeconds: float64(s.hostNanos.Value()) / 1e9,
 	}
+}
+
+// Throughput reports the simulator's host throughput: simulated cycles
+// and engine events per host second of execution, aggregated over every
+// run this scheduler executed (cache and coalesced hits excluded).
+func (st Stats) Throughput() (cyclesPerSec, eventsPerSec float64) {
+	if st.HostSeconds <= 0 {
+		return 0, 0
+	}
+	return float64(st.SimCycles) / st.HostSeconds, float64(st.SimEvents) / st.HostSeconds
 }
 
 // CacheLen returns the number of cached results (0 when disabled).

@@ -140,7 +140,22 @@ type StatusResponse struct {
 	DefaultScale  int                `json:"default_scale"`
 	DefaultSeed   int64              `json:"default_seed"`
 	Panels        []string           `json:"panels"`
+	Throughput    Throughput         `json:"throughput"`
 	Counters      map[string]float64 `json:"counters"`
+}
+
+// Throughput is the simulator's host throughput over every run this
+// daemon executed: how fast the host burns simulated cycles and engine
+// events. Cached and coalesced requests contribute nothing; host
+// seconds sum per-run wall-clock time across workers. These numbers
+// describe the serving host, not the simulated machine — they vary
+// across hardware while the simulation results do not.
+type Throughput struct {
+	SimCycles       uint64  `json:"sim_cycles_total"`
+	SimEvents       uint64  `json:"sim_events_total"`
+	HostRunSeconds  float64 `json:"host_run_seconds_total"`
+	CyclesPerSecond float64 `json:"sim_cycles_per_second"`
+	EventsPerSecond float64 `json:"sim_events_per_second"`
 }
 
 type errorResponse struct {
@@ -303,6 +318,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
+	cps, eps := st.Throughput()
 	writeJSON(w, http.StatusOK, StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       st.Workers,
@@ -313,7 +329,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		DefaultScale:  s.opts.Scale,
 		DefaultSeed:   s.opts.Seed,
 		Panels:        harness.PanelNames(),
-		Counters:      s.sched.Registry().Snapshot(),
+		Throughput: Throughput{
+			SimCycles:       st.SimCycles,
+			SimEvents:       st.SimEvents,
+			HostRunSeconds:  st.HostSeconds,
+			CyclesPerSecond: cps,
+			EventsPerSecond: eps,
+		},
+		Counters: s.sched.Registry().Snapshot(),
 	})
 }
 

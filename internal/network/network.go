@@ -60,7 +60,36 @@ type Network struct {
 	eject   []sim.Resource
 	deliver []DeliverFunc
 
+	// Prepared handlers for the engine's allocation-free event lane.
+	hHop     sim.Handler
+	hArrive  sim.Handler
+	hDeliver sim.Handler
+
 	Stats Stats
+}
+
+// hopH forwards a packet one switch hop. EventArg packs the packet in
+// Ptr and (node, hopsLeft) in N.
+type hopH struct{ n *Network }
+
+func (h hopH) OnEvent(arg sim.EventArg) {
+	h.n.hop(arg.Ptr.(*packet.Packet), int(arg.N>>32), int(arg.N&0xffffffff))
+}
+
+// arriveH moves a packet into its destination switch's processor port.
+type arriveH struct{ n *Network }
+
+func (h arriveH) OnEvent(arg sim.EventArg) { h.n.arriveDst(arg.Ptr.(*packet.Packet)) }
+
+// deliverH hands a packet to the destination PE's IBU callback.
+type deliverH struct{ n *Network }
+
+func (h deliverH) OnEvent(arg sim.EventArg) {
+	p := arg.Ptr.(*packet.Packet)
+	h.n.Stats.Delivered++
+	if fn := h.n.deliver[p.Dst()]; fn != nil {
+		fn(p)
+	}
 }
 
 // New builds the network for p PEs on the given engine.
@@ -69,7 +98,7 @@ func New(eng *sim.Engine, p int) (*Network, error) {
 		return nil, fmt.Errorf("network: need at least 2 PEs, got %d", p)
 	}
 	nodes := 1 << uint(bits.Len(uint(p-1)))
-	return &Network{
+	n := &Network{
 		eng:     eng,
 		p:       p,
 		nodes:   nodes,
@@ -78,7 +107,11 @@ func New(eng *sim.Engine, p int) (*Network, error) {
 		ports:   make([][2]sim.Resource, nodes),
 		eject:   make([]sim.Resource, p),
 		deliver: make([]DeliverFunc, p),
-	}, nil
+	}
+	n.hHop = hopH{n}
+	n.hArrive = arriveH{n}
+	n.hDeliver = deliverH{n}
+	return n, nil
 }
 
 // P returns the number of processors.
@@ -114,7 +147,7 @@ func (n *Network) Send(p *packet.Packet) {
 		// The SU short-circuits self-addressed packets from the OBU to the
 		// IBU through the crossbar processor port: one cycle, no links.
 		n.Stats.LocalShort++
-		n.eng.After(0, func() { n.arriveDst(p) })
+		n.eng.AfterHandler(0, n.hArrive, sim.EventArg{Ptr: p})
 		return
 	}
 	n.hop(p, int(p.Src), n.l)
@@ -138,10 +171,13 @@ func (n *Network) hop(p *packet.Packet, v, hopsLeft int) {
 
 	headAt := start + HopCycles
 	if hopsLeft == 1 {
-		n.eng.At(headAt, func() { n.arriveDst(p) })
+		n.eng.AtHandler(headAt, n.hArrive, sim.EventArg{Ptr: p})
 		return
 	}
-	n.eng.At(headAt, func() { n.hop(p, next, hopsLeft-1) })
+	n.eng.AtHandler(headAt, n.hHop, sim.EventArg{
+		Ptr: p,
+		N:   int64(next)<<32 | int64(hopsLeft-1),
+	})
 }
 
 // arriveDst moves the packet through the destination switch's processor
@@ -156,12 +192,7 @@ func (n *Network) arriveDst(p *packet.Packet) {
 		n.Stats.QueueDelay += start - now
 	}
 	port.Acquire(start, PortCycles)
-	n.eng.At(start+HopCycles, func() {
-		n.Stats.Delivered++
-		if fn := n.deliver[dst]; fn != nil {
-			fn(p)
-		}
-	})
+	n.eng.AtHandler(start+HopCycles, n.hDeliver, sim.EventArg{Ptr: p})
 }
 
 // UnloadedLatency returns the cycles from injection to delivery on an idle

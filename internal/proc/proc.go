@@ -88,15 +88,37 @@ type Proc struct {
 	sendNet func(*packet.Packet)
 	wake    func()
 
+	// Prepared handlers for the engine's allocation-free event lane.
+	hSend   sim.Handler
+	hInject sim.Handler
+	hDMA    sim.Handler
+
 	// Stats points at the PE's metrics record (owned by the machine).
 	Stats *metrics.PE
 }
+
+// sendH passes a packet leaving the OBU to the network.
+type sendH struct{ p *Proc }
+
+func (h sendH) OnEvent(arg sim.EventArg) { h.p.sendNet(arg.Ptr.(*packet.Packet)) }
+
+// injectH sends a prepared packet (typically a read reply) out through
+// the OBU.
+type injectH struct{ p *Proc }
+
+func (h injectH) OnEvent(arg sim.EventArg) { h.p.Inject(arg.Ptr.(*packet.Packet)) }
+
+// dmaH performs the memory side of a by-passing DMA request once the
+// IBU grant time arrives.
+type dmaH struct{ p *Proc }
+
+func (h dmaH) OnEvent(arg sim.EventArg) { h.p.serviceDMA(arg.Ptr.(*packet.Packet)) }
 
 // New creates the packet units for one PE. sendNet injects a packet into
 // the network at the current engine time.
 func New(eng *sim.Engine, pe packet.PE, memWords int, cfg Config,
 	stats *metrics.PE, sendNet func(*packet.Packet)) *Proc {
-	return &Proc{
+	p := &Proc{
 		eng:     eng,
 		pe:      pe,
 		cfg:     cfg,
@@ -105,6 +127,10 @@ func New(eng *sim.Engine, pe packet.PE, memWords int, cfg Config,
 		sendNet: sendNet,
 		Stats:   stats,
 	}
+	p.hSend = sendH{p}
+	p.hInject = injectH{p}
+	p.hDMA = dmaH{p}
+	return p
 }
 
 // PE returns the processor number.
@@ -122,7 +148,7 @@ func (p *Proc) SetWake(fn func()) { p.wake = fn }
 // the network when its OBU slot completes.
 func (p *Proc) Inject(pkt *packet.Packet) {
 	done := p.obu.Acquire(p.eng.Now(), p.cfg.OBUCycles)
-	p.eng.At(done, func() { p.sendNet(pkt) })
+	p.eng.AtHandler(done, p.hSend, sim.EventArg{Ptr: pkt})
 }
 
 // PushLocal enqueues a packet directly into the thread queue (used for
@@ -165,44 +191,41 @@ func (p *Proc) serviceBypass(pkt *packet.Packet) {
 	now := p.eng.Now()
 	grant := p.ibu.Acquire(now, p.cfg.IBUServiceCycles)
 	p.Stats.ServicedDMA++
+	p.eng.AtHandler(grant, p.hDMA, sim.EventArg{Ptr: pkt})
+}
+
+// serviceDMA runs at the IBU grant time: the memory side of a by-passed
+// request.
+func (p *Proc) serviceDMA(pkt *packet.Packet) {
 	switch pkt.Kind {
 	case packet.KindWrite:
-		p.eng.At(grant, func() {
-			p.Mem.Write(p.eng.Now(), memory.PortDMA, pkt.Addr.Off, pkt.Data)
-		})
+		p.Mem.Write(p.eng.Now(), memory.PortDMA, pkt.Addr.Off, pkt.Data)
 	case packet.KindReadReq:
-		p.eng.At(grant, func() {
-			v, done := p.Mem.Read(p.eng.Now(), memory.PortDMA, pkt.Addr.Off)
-			reply := &packet.Packet{
+		v, done := p.Mem.Read(p.eng.Now(), memory.PortDMA, pkt.Addr.Off)
+		reply := &packet.Packet{
+			Kind: packet.KindReadReply,
+			Src:  p.pe,
+			Addr: pkt.Addr,
+			Data: v,
+			Cont: pkt.Cont,
+			Seq:  pkt.Seq,
+		}
+		p.eng.AtHandler(done, p.hInject, sim.EventArg{Ptr: reply})
+	case packet.KindBlockReadReq:
+		words, _ := p.Mem.ReadBlock(p.eng.Now(), memory.PortDMA, pkt.Addr.Off, int(pkt.Block))
+		// Stream one reply per word; the OBU pipelines them at its
+		// port rate, which models the block-transfer burst.
+		for i, w := range words {
+			rd := p.eng.Now() + memory.AccessCycles*sim.Time(i+1)
+			p.eng.AtHandler(rd, p.hInject, sim.EventArg{Ptr: &packet.Packet{
 				Kind: packet.KindReadReply,
 				Src:  p.pe,
-				Addr: pkt.Addr,
-				Data: v,
+				Addr: pkt.Addr.Add(uint32(i)),
+				Data: w,
 				Cont: pkt.Cont,
 				Seq:  pkt.Seq,
-			}
-			p.eng.At(done, func() { p.Inject(reply) })
-		})
-	case packet.KindBlockReadReq:
-		p.eng.At(grant, func() {
-			words, _ := p.Mem.ReadBlock(p.eng.Now(), memory.PortDMA, pkt.Addr.Off, int(pkt.Block))
-			// Stream one reply per word; the OBU pipelines them at its
-			// port rate, which models the block-transfer burst.
-			for i, w := range words {
-				i, w := uint32(i), w
-				rd := p.eng.Now() + memory.AccessCycles*sim.Time(i+1)
-				p.eng.At(rd, func() {
-					p.Inject(&packet.Packet{
-						Kind: packet.KindReadReply,
-						Src:  p.pe,
-						Addr: pkt.Addr.Add(i),
-						Data: w,
-						Cont: pkt.Cont,
-						Seq:  pkt.Seq,
-					})
-				})
-			}
-		})
+			}})
+		}
 	}
 }
 
@@ -219,17 +242,14 @@ func (p *Proc) ServiceOnEXU(pkt *packet.Packet) {
 			Kind: packet.KindReadReply, Src: p.pe,
 			Addr: pkt.Addr, Data: v, Cont: pkt.Cont, Seq: pkt.Seq,
 		}
-		p.eng.At(done, func() { p.Inject(reply) })
+		p.eng.AtHandler(done, p.hInject, sim.EventArg{Ptr: reply})
 	case packet.KindBlockReadReq:
 		words, done := p.Mem.ReadBlock(p.eng.Now(), memory.PortEXU, pkt.Addr.Off, int(pkt.Block))
 		for i, w := range words {
-			i, w := uint32(i), w
-			p.eng.At(done, func() {
-				p.Inject(&packet.Packet{
-					Kind: packet.KindReadReply, Src: p.pe,
-					Addr: pkt.Addr.Add(i), Data: w, Cont: pkt.Cont, Seq: pkt.Seq,
-				})
-			})
+			p.eng.AtHandler(done, p.hInject, sim.EventArg{Ptr: &packet.Packet{
+				Kind: packet.KindReadReply, Src: p.pe,
+				Addr: pkt.Addr.Add(uint32(i)), Data: w, Cont: pkt.Cont, Seq: pkt.Seq,
+			}})
 		}
 	default:
 		panic(fmt.Sprintf("proc: ServiceOnEXU got %v", pkt))

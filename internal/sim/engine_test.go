@@ -280,6 +280,132 @@ func TestResourceMonotonicGrants(t *testing.T) {
 	}
 }
 
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	mustPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s with negative delay did not panic", name)
+			}
+			if msg, ok := r.(string); !ok || msg != want {
+				t.Fatalf("%s panicked with %v, want %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	e := NewEngine()
+	mustPanic("After", "sim: After called with negative delay",
+		func() { e.After(-1, func() {}) })
+	mustPanic("AfterHandler", "sim: AfterHandler called with negative delay",
+		func() { e.AfterHandler(-1, runFunc, EventArg{Ptr: func() {}}) })
+}
+
+// recordH appends its integer payload to a shared slice — the test
+// double for a hot component on the handler lane.
+type recordH struct{ out *[]int64 }
+
+func (h recordH) OnEvent(arg EventArg) { *h.out = append(*h.out, arg.N) }
+
+func TestEngineHandlerLaneOrdering(t *testing.T) {
+	// The closure and handler lanes share one ordering domain: same-cycle
+	// events dispatch in insertion order no matter which API scheduled
+	// them.
+	e := NewEngine()
+	var got []int64
+	h := recordH{&got}
+	e.AtHandler(5, h, EventArg{N: 0})
+	e.At(5, func() { got = append(got, 1) })
+	e.AtHandler(5, h, EventArg{N: 2})
+	e.After(5, func() { got = append(got, 3) })
+	e.AtHandler(3, h, EventArg{N: 10})
+	e.Run()
+	want := []int64{10, 0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineRingHeapBoundary(t *testing.T) {
+	// Events beyond the near-future window start on the heap; ones pushed
+	// later for the same cycle (once the window has advanced) land in the
+	// ring. The merge must still dispatch them in insertion order.
+	e := NewEngine()
+	var got []int64
+	h := recordH{&got}
+	const far = ringSize + 10
+	e.AtHandler(far, h, EventArg{N: 0}) // heap: outside the window at t=0
+	e.AtHandler(1, h, EventArg{N: 1})   // ring
+	e.At(1, func() {
+		e.AtHandler(far, h, EventArg{N: 2}) // ring: window now covers far
+		got = append(got, 100)
+	})
+	e.Run()
+	want := []int64{1, 100, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineRingHeapRandomized(t *testing.T) {
+	// Property: with schedule times spanning the ring window and the heap
+	// overflow, on both lanes, dispatch order is sorted by time with
+	// same-time ties in insertion order.
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	check := func(delaysRaw []uint16, lanes []bool) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var got []stamp
+		rec := func(i int) { got = append(got, stamp{e.Now(), i}) }
+		for i, d := range delaysRaw {
+			at := Time(d) % (3 * ringSize)
+			if i < len(lanes) && lanes[i] {
+				i := i
+				e.AtHandler(at, runFunc, EventArg{Ptr: func() { rec(i) }})
+			} else {
+				i := i
+				e.At(at, func() { rec(i) })
+			}
+		}
+		e.Run()
+		if len(got) != len(delaysRaw) {
+			return false
+		}
+		want := make([]stamp, len(got))
+		copy(want, got)
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].at != want[b].at {
+				return want[a].at < want[b].at
+			}
+			return want[a].seq < want[b].seq
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkEngineScheduleDispatch(b *testing.B) {
 	e := NewEngine()
 	b.ReportAllocs()
@@ -287,6 +413,42 @@ func BenchmarkEngineScheduleDispatch(b *testing.B) {
 		e.After(Time(i%64), func() {})
 		if e.Pending() > 1024 {
 			e.RunUntil(e.Now() + 16)
+		}
+	}
+	e.Run()
+}
+
+// nopH is the cheapest possible handler, isolating scheduler cost.
+type nopH struct{}
+
+func (nopH) OnEvent(EventArg) {}
+
+// BenchmarkEngineHandlerLane is the allocs/event gate for the handler
+// fast lane: steady-state near-future scheduling must report 0 allocs/op
+// (the seed's closure-per-event heap allocated on every push).
+func BenchmarkEngineHandlerLane(b *testing.B) {
+	e := NewEngine()
+	var h nopH
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterHandler(Time(i%64), h, EventArg{N: int64(i)})
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + 16)
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineFarFuture exercises the heap overflow path: every event
+// is scheduled past the ring window.
+func BenchmarkEngineFarFuture(b *testing.B) {
+	e := NewEngine()
+	var h nopH
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterHandler(ringSize+Time(i%64), h, EventArg{N: int64(i)})
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + ringSize + 64)
 		}
 	}
 	e.Run()

@@ -105,6 +105,43 @@ func TestQueueSpillKeepsOrderAfterPartialDrain(t *testing.T) {
 	}
 }
 
+func TestQueueSpillBothPriorities(t *testing.T) {
+	var q Queue
+	// Overflow both on-chip FIFOs at once: dispatch must still drain all
+	// of High before any of Low, FIFO within each priority, and every
+	// spilled packet must round-trip through the restore path.
+	n := OnChipCap + 6
+	for i := 0; i < n; i++ {
+		q.Push(High, pkt(uint64(1000+i)))
+		q.Push(Low, pkt(uint64(2000+i)))
+	}
+	if want := uint64(2 * (n - OnChipCap)); q.Spilled != want {
+		t.Fatalf("spilled = %d, want %d", q.Spilled, want)
+	}
+	var got []uint64
+	for {
+		p, _, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, p.Seq)
+	}
+	if len(got) != 2*n {
+		t.Fatalf("popped %d packets, want %d", len(got), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != uint64(1000+i) {
+			t.Fatalf("high pop %d = %d, want %d (high must drain first, in order)", i, got[i], 1000+i)
+		}
+		if got[n+i] != uint64(2000+i) {
+			t.Fatalf("low pop %d = %d, want %d", i, got[n+i], 2000+i)
+		}
+	}
+	if q.Restored != q.Spilled {
+		t.Fatalf("restored = %d, want %d (every spill restored)", q.Restored, q.Spilled)
+	}
+}
+
 func TestQueueFIFOProperty(t *testing.T) {
 	// Property: for arbitrary push/pop interleavings, pops within a
 	// priority observe push order.
