@@ -109,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var render func(harness.Figure) string
+	// Normalize so "-format JSON" works; anything else is rejected with
+	// the valid choices spelled out rather than silently defaulting.
+	*format = strings.ToLower(strings.TrimSpace(*format))
 	switch *format {
 	case "table":
 		render = func(f harness.Figure) string { return f.Table() }
@@ -159,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer sched.Close()
 	}
 
-	start := time.Now()
+	start := time.Now() //emx:hostclock wall-clock panel timing for the snapshot header
 	var collected []harness.Figure
 	for _, n := range names {
 		figs, err := panel(n)
@@ -175,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //emx:hostclock
 	if render == nil {
 		snap := Snapshot{
 			Paper:  "EM-X (SPAA 1997)",

@@ -48,6 +48,28 @@ func TestInvalidFlagValuesExitNonZero(t *testing.T) {
 	}
 }
 
+func TestUnknownFormatMessage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-fig", "6a", "-format", "yaml")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown format "yaml"`) ||
+		!strings.Contains(stderr, "table") || !strings.Contains(stderr, "csv") ||
+		!strings.Contains(stderr, "chart") || !strings.Contains(stderr, "json") {
+		t.Fatalf("error must echo the bad value and list valid formats:\n%s", stderr)
+	}
+}
+
+func TestFormatIsCaseInsensitive(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-fig", "6a", "-scale", hugeScale, "-format", "JSON")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"figures"`) && !strings.Contains(stdout, `"paper"`) {
+		t.Fatalf("-format JSON did not produce the snapshot:\n%s", stdout)
+	}
+}
+
 // hugeScale clamps panel sizes to the minimum grid for fast tests.
 const hugeScale = "1048576"
 

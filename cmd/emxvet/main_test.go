@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{"emx/internal/sim"}, 0},
+		{"fixture has findings", []string{"-only", "detsource", "emx/internal/lint/testdata/src/detsource_crit"}, 1},
+		{"findings as json", []string{"-json", "-only", "detsource", "emx/internal/lint/testdata/src/detsource_crit"}, 1},
+		{"unknown analyzer", []string{"-only", "nosuch", "emx/internal/sim"}, 2},
+		{"unloadable pattern", []string{"emx/no/such/package"}, 2},
+		{"list analyzers", []string{"-list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(c.args); got != c.want {
+				t.Errorf("run(%v) = %d, want %d", c.args, got, c.want)
+			}
+		})
+	}
+}

@@ -158,6 +158,8 @@ func (x *exu) wake() {
 // dispatch pops the next packet, charges Matching Unit time, and handles
 // it. When the queue is empty the EXU goes idle; idle time is attributed
 // to communication (exposed latency) when it ends.
+//
+//emx:hotpath
 func (x *exu) dispatch() {
 	pkt, _, _, ok := x.p.Queue.Pop()
 	if !ok {
@@ -266,6 +268,8 @@ func (x *exu) resumeThread(t *thr) {
 
 // execResume builds the resume message from the payload staged on t and
 // steps the coroutine.
+//
+//emx:hotpath
 func (x *exu) execResume(t *thr) {
 	msg := resumeMsg{val: t.resumeVal, vals: t.resumeVals}
 	t.resumeVal = 0
@@ -275,6 +279,8 @@ func (x *exu) execResume(t *thr) {
 
 // exec resumes the coroutine, collects the operations it buffered plus
 // the op it yielded on, and starts the engine-side replay.
+//
+//emx:hotpath
 func (x *exu) exec(t *thr, msg resumeMsg) {
 	t.final = x.m.step(t, msg)
 	t.bufIdx = 0
@@ -284,6 +290,8 @@ func (x *exu) exec(t *thr, msg resumeMsg) {
 // apply replays one buffered operation as one engine event — exactly the
 // event the unbuffered path would have scheduled — and chains itself
 // until the buffer drains, then performs the yielded op.
+//
+//emx:hotpath
 func (x *exu) apply(t *thr) {
 	cfg := &x.m.Cfg
 	eng := x.m.Eng
@@ -326,6 +334,8 @@ func (x *exu) apply(t *thr) {
 }
 
 // finish performs the operation the coroutine suspended on.
+//
+//emx:hotpath
 func (x *exu) finish(t *thr, op any) {
 	cfg := &x.m.Cfg
 	eng := x.m.Eng
@@ -339,7 +349,7 @@ func (x *exu) finish(t *thr, op any) {
 
 	case opReadBlock:
 		if op.n <= 0 {
-			x.m.fail(fmt.Errorf("core: %v block read of %d words", t, op.n))
+			x.m.fail(fmt.Errorf("core: %v block read of %d words", t, op.n)) //emx:coldpath aborts the run
 			return
 		}
 		x.issueRead(t, op.addr, op.n)
@@ -413,6 +423,8 @@ func (x *exu) finish(t *thr, op any) {
 // generation is overhead, the register save is switch time, and the
 // suspension is counted as a remote-read switch (Figure 9's dominant
 // category — exactly one per remote read).
+//
+//emx:hotpath
 func (x *exu) issueRead(t *thr, addr packet.GlobalAddr, n int) {
 	cfg := &x.m.Cfg
 	x.st.Times.Overhead += cfg.PacketGenCycles

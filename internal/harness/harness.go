@@ -160,7 +160,7 @@ func (ps PointSpec) Key(scale int) string { return ps.Identity(scale).Hash() }
 // results stay bit-identical across hosts.
 func RunPoint(ps PointSpec) (*metrics.Run, error) {
 	cfg := ps.config()
-	start := time.Now()
+	start := time.Now() //emx:hostclock host throughput only, never simulated state
 	var (
 		run *metrics.Run
 		err error
@@ -190,7 +190,7 @@ func RunPoint(ps PointSpec) (*metrics.Run, error) {
 		return nil, fmt.Errorf("harness: %v P=%d N=%d H=%d: %w", ps.Workload, ps.P, ps.SimN, ps.H, err)
 	}
 	run.PaperN = ps.PaperN
-	run.HostElapsedSecs = time.Since(start).Seconds()
+	run.HostElapsedSecs = time.Since(start).Seconds() //emx:hostclock
 	return run, nil
 }
 

@@ -261,11 +261,11 @@ func rate(count, nanos uint64) float64 {
 
 // Stats is a point-in-time snapshot of the scheduler's counters.
 type Stats struct {
-	Started, Completed, Failed   uint64
+	Started, Completed, Failed     uint64
 	CacheHits, Coalesced, Rejected uint64
-	QueueDepth, QueueCap         int
-	CacheLen, CacheCap           int
-	Workers                      int
+	QueueDepth, QueueCap           int
+	CacheLen, CacheCap             int
+	Workers                        int
 
 	// Host throughput over all executed runs (see Throughput for the
 	// derived rates). HostSeconds sums per-run wall-clock time, so with

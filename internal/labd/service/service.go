@@ -56,7 +56,7 @@ func New(opts Options) *Server {
 		opts:  opts,
 		sched: labd.New(opts.Sched),
 		mux:   http.NewServeMux(),
-		start: time.Now(),
+		start: time.Now(), //emx:hostclock serving-uptime observability
 	}
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/figure", s.handleFigure)
@@ -320,7 +320,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
 	cps, eps := st.Throughput()
 	writeJSON(w, http.StatusOK, StatusResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: time.Since(s.start).Seconds(), //emx:hostclock
 		Workers:       st.Workers,
 		QueueDepth:    st.QueueDepth,
 		QueueCap:      st.QueueCap,

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetSource forbids nondeterministic value sources in
+// determinism-critical packages: host clocks, the global math/rand
+// functions, crypto/rand, and environment reads. Any of these leaking
+// into a simulation or a figure-producing path silently corrupts the
+// content-addressed run cache and the golden panel hashes.
+//
+// Intentional host-observability sites (wall-clock throughput
+// measurement that never feeds back into simulated state) carry
+// //emx:hostclock on the offending line.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbid host clocks, global randomness, and environment reads in determinism-critical packages",
+	Run:  runDetSource,
+}
+
+// forbiddenFuncs maps package path -> function name -> true for the
+// package-level functions detsource rejects. Methods (e.g. seeded
+// *rand.Rand) are always fine: they are deterministic given the seed.
+var forbiddenFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Tick": true,
+		"After": true, "AfterFunc": true, "NewTimer": true,
+		"NewTicker": true, "Sleep": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+	"math/rand": {
+		// Everything driving the package-global source. Constructors
+		// for explicitly seeded generators stay allowed.
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true,
+		"Seed": true, "Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint32": true, "Uint32N": true,
+		"Uint64": true, "Uint64N": true, "UintN": true, "N": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true,
+	},
+}
+
+func runDetSource(pass *Pass) {
+	pkg := pass.Pkg
+	if !isCritical(pkg) {
+		// Outside the critical set the checks do not run, so any
+		// hostclock annotation is dead weight — say so rather than
+		// letting it suggest protection that is not there.
+		for _, d := range pkg.Directives.Unused(DirHostClock) {
+			pass.Reportf(d.Pos, "//emx:hostclock has no effect outside determinism-critical packages")
+		}
+		return
+	}
+
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "crypto/rand" {
+				pass.Reportf(imp.Pos(), "import of crypto/rand in determinism-critical package %s", pkg.ImportPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			if !forbiddenFuncs[obj.Pkg().Path()][obj.Name()] {
+				return true
+			}
+			if suppressedBy(pkg, sel, DirHostClock) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s is a nondeterministic source in determinism-critical package %s (annotate intentional host-observability sites with //emx:hostclock)",
+				obj.Pkg().Name(), obj.Name(), pkg.ImportPath)
+			return true
+		})
+	}
+
+	for _, d := range pkg.Directives.Unused(DirHostClock) {
+		pass.Reportf(d.Pos, "unused //emx:hostclock directive: no forbidden call on line %d", d.EffectiveLine)
+	}
+}

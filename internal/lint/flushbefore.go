@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlushBefore enforces the op-buffer protocol between coroutine-side
+// code and engine/machine observable state. TC methods buffer cheap
+// operations (Compute, Write, LocalStore) and replay them at the next
+// suspension point; until that replay, the engine's clock and any state
+// the buffered ops would touch are stale. Coroutine-side code must
+// therefore flush the buffer (tc.sync(), or yieldOp(opFlush{})) before
+// observing machine state — the clock, memory peeks, wait-set and
+// barrier bookkeeping.
+//
+// The check is structural, not path-sensitive: within a coroutine-side
+// function (a method on TC, or a function reading the machine's .cur
+// coroutine mark), every observable read must appear after a flush
+// call in source order. That is exactly the shape of every correct
+// site in the runtime (sync first, observe after), and it catches the
+// real bug class — adding an early observation to a TC method without
+// thinking about the buffer.
+var FlushBefore = &Analyzer{
+	Name: "flushbefore",
+	Doc:  "require an op-buffer flush before observable machine state is read from coroutine-side code",
+	Run:  runFlushBefore,
+}
+
+// observableMethods are machine/engine observation entry points: the
+// simulated clock and zero-cost memory access. Restricted to methods
+// defined in sim-core packages.
+var observableMethods = map[string]bool{
+	"Now": true, "Peek": true, "Poke": true, "Events": true,
+	"Episodes": true, "Waiting": true,
+}
+
+// observableFields are runtime bookkeeping fields whose value depends
+// on buffered operations having been applied.
+var observableFields = map[string]bool{
+	"waiters": true, "episodes": true, "arrived": true, "recv": true,
+}
+
+func runFlushBefore(pass *Pass) {
+	pkg := pass.Pkg
+	if !isSimCore(pkg) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if coroutineSide(pkg, fd) {
+				checkFlushOrder(pass, fd)
+			}
+			return false // FuncDecls do not nest
+		})
+	}
+}
+
+// coroutineSide reports whether fd runs in coroutine (thread) context:
+// a method on the TC type, or a function that reads the machine's
+// .cur mark to find the running coroutine.
+func coroutineSide(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "TC" {
+			return true
+		}
+	}
+	readsCur := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "cur" {
+			readsCur = true
+		}
+		return !readsCur
+	})
+	return readsCur
+}
+
+// checkFlushOrder reports observable reads in fd's body that no flush
+// call precedes in source order.
+func checkFlushOrder(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	var flushes []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isFlushCall(pkg, call) {
+			flushes = append(flushes, call)
+		}
+		return true
+	})
+	flushed := func(n ast.Node) bool {
+		for _, fl := range flushes {
+			if fl.Pos() < n.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case observableMethodCall(pkg, sel):
+			if !flushed(sel) {
+				pass.Reportf(sel.Pos(),
+					"observable %s() read in coroutine-side function %s before any op-buffer flush (call tc.sync() first: buffered ops have not been applied)",
+					sel.Sel.Name, fd.Name.Name)
+			}
+		case observableFieldRead(pkg, sel):
+			if !flushed(sel) {
+				pass.Reportf(sel.Pos(),
+					"runtime field %s read in coroutine-side function %s before any op-buffer flush (call tc.sync() first: buffered ops have not been applied)",
+					sel.Sel.Name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isFlushCall recognizes the two flush shapes: a call to a method
+// named sync/Sync, and yieldOp(opFlush{...}).
+func isFlushCall(pkg *Package, call *ast.CallExpr) bool {
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	}
+	switch name {
+	case "sync", "Sync":
+		return true
+	case "yieldOp":
+		for _, arg := range call.Args {
+			t := pkg.Info.TypeOf(arg)
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == "opFlush" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// observableMethodCall reports whether sel names an observable method
+// defined in a sim-core package.
+func observableMethodCall(pkg *Package, sel *ast.SelectorExpr) bool {
+	if !observableMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == pkg.ImportPath || hasPrefix(path, simCorePrefixes)
+}
+
+// observableFieldRead reports whether sel reads one of the runtime
+// bookkeeping fields.
+func observableFieldRead(pkg *Package, sel *ast.SelectorExpr) bool {
+	if !observableFields[sel.Sel.Name] {
+		return false
+	}
+	v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	return ok && v.IsField()
+}

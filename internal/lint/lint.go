@@ -1,0 +1,138 @@
+// Package lint implements emxvet, the repository's static-analysis
+// suite. The whole reproduction rests on two invariants that runtime
+// tests can only sample: simulations are pure functions of
+// core.RunIdentity (the content-addressed run cache and the golden
+// panel hashes both assume bit-for-bit determinism), and the scheduler
+// fast lane stays allocation-free. The analyzers here enforce those
+// invariants structurally, at compile time:
+//
+//   - detsource: no host clocks, global randomness, or environment
+//     reads in determinism-critical packages (//emx:hostclock marks
+//     the intentional host-observability sites)
+//   - maporder: no iteration over Go maps in those packages unless the
+//     keys are sorted before use, the loop body is order-invariant, or
+//     the site carries //emx:orderinvariant
+//   - hotalloc: functions marked //emx:hotpath must not create
+//     closures, box non-pointer values into interfaces, or append to
+//     slices that were not preallocated with an explicit capacity
+//   - simtime: no negative or host-derived values flowing into the
+//     simulated clock (sim.After and friends), and no arithmetic that
+//     mixes host time with simulated cycle counts
+//   - flushbefore: coroutine-side code must flush the thread's
+//     operation buffer before observing engine or machine state, so
+//     observations happen at true simulated time
+//   - emxdirective: every //emx: directive is well-formed and known
+//     (typos and misplacements are errors, never silently ignored)
+//
+// The suite is built directly on go/ast and go/types — the module is
+// dependency-free, so there is no golang.org/x/tools here. Packages
+// are loaded through `go list -export`, which supplies export data for
+// dependencies from the build cache.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check. Run inspects a single package and
+// reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Sources    map[string][]byte // file name -> content
+	Directives *Directives
+}
+
+// Analyzers returns the full emxvet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetSource,
+		MapOrder,
+		HotAlloc,
+		SimTime,
+		FlushBefore,
+		EmxDirective,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,104 @@
+// Package linttest runs analyzers over fixture packages and checks
+// their findings against expectations written in the fixtures
+// themselves — the same convention as golang.org/x/tools' analysistest,
+// reduced to what the emxvet suite needs.
+//
+// A fixture is a real, compiling package under
+// internal/lint/testdata/src/<name>. Lines expected to produce a
+// diagnostic carry a trailing comment of the form
+//
+//	// want "substring" ["substring" ...]
+//
+// Each quoted string must be a substring of exactly one diagnostic
+// reported on that line, and every diagnostic must be claimed by a
+// want clause: extra findings and missing findings both fail the test.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"emx/internal/lint"
+)
+
+// fixtureImportPrefix is where fixture packages live. testdata is
+// invisible to ./... wildcards, so fixtures never leak into ordinary
+// builds, vet runs, or emxvet itself.
+const fixtureImportPrefix = "emx/internal/lint/testdata/src/"
+
+// want is one expectation: a diagnostic containing Substr on (File, Line).
+type want struct {
+	File    string
+	Line    int
+	Substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads the named fixture package, applies the analyzers, and
+// fails the test on any mismatch between reported diagnostics and the
+// fixture's want comments.
+func Run(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load("", fixtureImportPrefix+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	wants := collectWants(t, pkgs)
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic containing %q was reported", w.File, w.Line, w.Substr)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by d.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.File == d.Pos.Filename && w.Line == d.Pos.Line &&
+			w.Substr != "" && strings.Contains(d.Message, w.Substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts want clauses from every comment in the loaded
+// packages.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						s, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						wants = append(wants, &want{File: pos.Filename, Line: pos.Line, Substr: s})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

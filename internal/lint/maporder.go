@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags iteration over Go maps in determinism-critical
+// packages. Map iteration order is deliberately randomized by the
+// runtime, so a map range feeding any ordered output (a slice, a
+// writer, an output file) produces run-to-run differences — the
+// classic silent-nondeterminism bug in simulator codebases.
+//
+// A map range is accepted when:
+//   - the loop body is structurally order-invariant (it only writes
+//     map entries, deletes keys, or accumulates with commutative
+//     operators), or
+//   - the loop only collects keys/values into a slice that is passed
+//     to sort (or slices.Sort*) before the loop's function returns, or
+//   - the statement carries //emx:orderinvariant, asserting a
+//     commutative reduction the analyzer cannot prove.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration in determinism-critical packages unless sorted, order-invariant, or annotated",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	pkg := pass.Pkg
+	if !isCritical(pkg) {
+		for _, d := range pkg.Directives.Unused(DirOrderInvariant) {
+			pass.Reportf(d.Pos, "//emx:orderinvariant has no effect outside determinism-critical packages")
+		}
+		return
+	}
+
+	for _, f := range pkg.Files {
+		// Map each range statement to its innermost enclosing function
+		// body, where the keys-sorted-before-use pattern is resolved.
+		var funcs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pkg.Info.TypeOf(rng.X)) {
+				return true
+			}
+			if suppressedBy(pkg, rng, DirOrderInvariant) {
+				return true
+			}
+			fn := innermost(funcs, rng.Pos())
+			if mapRangeOK(pkg, rng, fn) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"iteration over map %s in determinism-critical package %s: sort the keys before use or mark the loop //emx:orderinvariant",
+				exprString(pkg, rng.X), pkg.ImportPath)
+			return true
+		})
+	}
+
+	for _, d := range pkg.Directives.Unused(DirOrderInvariant) {
+		pass.Reportf(d.Pos, "unused //emx:orderinvariant directive: no map iteration on line %d", d.EffectiveLine)
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// innermost returns the function node with the latest start position
+// that still contains pos.
+func innermost(funcs []ast.Node, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, fn := range funcs {
+		if fn.Pos() <= pos && pos < fn.End() {
+			if best == nil || fn.Pos() > best.Pos() {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+// mapRangeOK decides whether the map range is provably deterministic:
+// either its body is order-invariant, or it only collects elements
+// into slices that are sorted later in the enclosing function.
+func mapRangeOK(pkg *Package, rng *ast.RangeStmt, fn ast.Node) bool {
+	locals := localSet{}
+	if rng.Tok == token.DEFINE {
+		locals.addDefs(pkg, []ast.Expr{rng.Key, rng.Value})
+	}
+	collect := map[types.Object]bool{}
+	for _, s := range rng.Body.List {
+		if obj := collectAppendTarget(pkg, s, locals); obj != nil {
+			collect[obj] = true
+			continue
+		}
+		if !benignStmt(pkg, s, locals) {
+			return false
+		}
+	}
+	if len(collect) == 0 {
+		return true // fully order-invariant body
+	}
+	if fn == nil {
+		return false
+	}
+	body := funcBody(fn)
+	for obj := range collect {
+		if !sortedAfter(pkg, body, obj, rng.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// localSet tracks identifiers declared inside the loop body; writing
+// to them cannot leak iteration order out of the loop.
+type localSet map[types.Object]bool
+
+func (ls localSet) addDefs(pkg *Package, exprs []ast.Expr) {
+	for _, e := range exprs {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				ls[obj] = true
+			}
+		}
+	}
+}
+
+func (ls localSet) contains(pkg *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	return ls[pkg.Info.Uses[id]] || ls[pkg.Info.Defs[id]]
+}
+
+// benignStmt reports whether a statement inside a map range is
+// structurally order-invariant.
+func benignStmt(pkg *Package, s ast.Stmt, locals localSet) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.DEFINE:
+			locals.addDefs(pkg, s.Lhs)
+			return true
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			return true // commutative accumulation
+		case token.ASSIGN:
+			for _, lhs := range s.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isMapType(pkg.Info.TypeOf(idx.X)) {
+					continue // keyed map write: order-free
+				}
+				if !locals.contains(pkg, lhs) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.IncDecStmt:
+		return true
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, n := range vs.Names {
+						if obj := pkg.Info.Defs[n]; obj != nil {
+							locals[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !benignStmt(pkg, s.Init, locals) {
+			return false
+		}
+		if !benignBlock(pkg, s.Body, locals) {
+			return false
+		}
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				return benignBlock(pkg, blk, locals)
+			}
+			if elif, ok := s.Else.(*ast.IfStmt); ok {
+				return benignStmt(pkg, elif, locals)
+			}
+			return false
+		}
+		return true
+	case *ast.BlockStmt:
+		return benignBlock(pkg, s, locals)
+	case *ast.RangeStmt:
+		return benignBlock(pkg, s.Body, locals)
+	case *ast.ForStmt:
+		return benignBlock(pkg, s.Body, locals)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+func benignBlock(pkg *Package, blk *ast.BlockStmt, locals localSet) bool {
+	for _, s := range blk.List {
+		if !benignStmt(pkg, s, locals) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAppendTarget recognizes `x = append(x, ...)` (or :=) and
+// returns the object of x when x is declared outside the loop —
+// the keys-collection half of the collect-then-sort pattern.
+func collectAppendTarget(pkg *Package, s ast.Stmt, locals localSet) types.Object {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || arg0.Name != lhs.Name {
+		return nil
+	}
+	obj := pkg.Info.Uses[lhs]
+	if obj == nil {
+		obj = pkg.Info.Defs[lhs]
+	}
+	if obj == nil || locals[obj] {
+		return nil
+	}
+	return obj
+}
+
+// sortFuncs are the sorting entry points that discharge a collected
+// slice: sort.X and slices.X.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj is passed to a sort function at a
+// position after `after` within body.
+func sortedAfter(pkg *Package, body *ast.BlockStmt, obj types.Object, after token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !sortFuncs[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		ast.Inspect(call.Args[0], func(a ast.Node) bool {
+			if id, ok := a.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short source form of an expression for
+// diagnostics.
+func exprString(pkg *Package, e ast.Expr) string {
+	file := pkg.Fset.Position(e.Pos()).Filename
+	src := pkg.Sources[file]
+	start := pkg.Fset.Position(e.Pos()).Offset
+	end := pkg.Fset.Position(e.End()).Offset
+	if src == nil || start < 0 || end > len(src) || start >= end {
+		return "?"
+	}
+	s := string(src[start:end])
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

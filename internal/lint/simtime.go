@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SimTime polices the boundary between the two clocks in this
+// codebase. Simulated time is sim.Time — a cycle count, int64 so that
+// deltas stay closed under subtraction — and host time is the
+// time.Time/time.Duration pair. The two must never meet inside the
+// simulation:
+//
+//   - a negative constant delay passed to Engine.After/AfterHandler is
+//     a guaranteed runtime panic; report it at compile time,
+//   - a host-derived expression (anything touching time.Now/Since, a
+//     time.Time/Duration-typed subexpression, or a host* identifier)
+//     scheduled as a delay makes event order depend on host speed,
+//   - inside the simulation core, arithmetic mixing a host-derived
+//     operand with a cycle count smuggles wall-clock time into
+//     simulated state.
+//
+// The mixing rule is scoped to the sim-core tier: observability code
+// one level up (labd, the bench harness) legitimately divides cycle
+// counts by host seconds to report throughput.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "flag negative or host-derived sim.After delays and host-time/cycle-count mixing",
+	Run:  runSimTime,
+}
+
+// schedFuncs are the sim.Engine scheduling entry points whose first
+// argument is a sim.Time delay or deadline.
+var schedFuncs = map[string]bool{
+	"After": true, "AfterHandler": true, "At": true, "AtHandler": true,
+}
+
+const simTimePath = "emx/internal/sim"
+
+func runSimTime(pass *Pass) {
+	pkg := pass.Pkg
+	if !isCritical(pkg) {
+		return
+	}
+	strict := isSimCore(pkg)
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSchedCall(pass, n)
+				if strict {
+					checkSimTimeConversion(pass, n)
+				}
+			case *ast.BinaryExpr:
+				if strict {
+					checkHostMixing(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSchedCall inspects Engine.After/AfterHandler/At/AtHandler call
+// sites: the delay argument must be non-negative and must not be
+// derived from the host clock.
+func checkSchedCall(pass *Pass, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !schedFuncs[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != simTimePath {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	arg := call.Args[0]
+	if tv, ok := pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v < 0 {
+			pass.Reportf(arg.Pos(),
+				"negative delay %d passed to sim.%s always panics at runtime", v, sel.Sel.Name)
+			return
+		}
+	}
+	if src := hostDerived(pkg, arg); src != "" {
+		pass.Reportf(arg.Pos(),
+			"host-derived value (%s) scheduled via sim.%s: event order would depend on host speed; delays must be cycle counts",
+			src, sel.Sel.Name)
+	}
+}
+
+// checkSimTimeConversion flags sim.Time(x) / Time(x) conversions of
+// host-derived values inside the simulation core.
+func checkSimTimeConversion(pass *Pass, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if !isSimTimeType(tv.Type) && !isIntegerType(tv.Type) {
+		return
+	}
+	if src := hostDerived(pkg, call.Args[0]); src != "" {
+		pass.Reportf(call.Args[0].Pos(),
+			"conversion of host-derived value (%s) to %s inside the simulation core: wall-clock time must not become a cycle count",
+			src, tv.Type.String())
+	}
+}
+
+// checkHostMixing flags binary arithmetic combining a host-derived
+// operand with a cycle-count operand. Constant operands are exempt —
+// `cycles * 2` is scaling, not mixing.
+func checkHostMixing(pass *Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	pkg := pass.Pkg
+	x, y := be.X, be.Y
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		host, other := pair[0], pair[1]
+		if isConstExpr(pkg, host) || isConstExpr(pkg, other) {
+			continue
+		}
+		src := hostDerived(pkg, host)
+		if src == "" {
+			continue
+		}
+		if isCycleCount(pkg, other) && hostDerived(pkg, other) == "" {
+			pass.Reportf(be.Pos(),
+				"arithmetic mixes host-derived value (%s) with a cycle count inside the simulation core", src)
+			return
+		}
+	}
+}
+
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// hostDerived reports how an expression depends on the host clock:
+// a time.Now/Since/Until call, a time.Time/time.Duration-typed
+// subexpression, or a host*-named identifier. It returns a short
+// description of the first evidence found, or "" when the expression
+// is clean. Constant expressions are never host-derived.
+func hostDerived(pkg *Package, e ast.Expr) string {
+	if isConstExpr(pkg, e) {
+		return ""
+	}
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[expr]; ok && tv.Value == nil && isHostTimeType(tv.Type) {
+			found = tv.Type.String() + " value"
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && forbiddenFuncs["time"][fn.Name()] {
+				found = "time." + fn.Name()
+				return false
+			}
+			if hostName(n.Sel.Name) {
+				found = n.Sel.Name
+				return false
+			}
+		case *ast.Ident:
+			if hostName(n.Name) && pkg.Info.Uses[n] != nil {
+				found = n.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hostName(name string) bool {
+	return strings.HasPrefix(name, "host") || strings.HasPrefix(name, "Host")
+}
+
+func isHostTimeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Time" || obj.Name() == "Duration"
+}
+
+func isSimTimeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == simTimePath && obj.Name() == "Time"
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isCycleCount reports whether the expression is plausibly a cycle
+// count: sim.Time-typed, or integer-typed (the core keeps raw uint64
+// cycle counters in several places).
+func isCycleCount(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isSimTimeType(tv.Type) || isIntegerType(tv.Type)
+}

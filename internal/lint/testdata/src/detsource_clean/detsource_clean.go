@@ -1,0 +1,16 @@
+// Package detsource_clean is not determinism-critical: host clocks are
+// allowed here, and a hostclock annotation is dead weight that must be
+// called out rather than silently accepted.
+package detsource_clean
+
+import "time"
+
+// Uptime may use the host clock freely.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Annotated carries a pointless suppression.
+func Annotated() time.Time {
+	return time.Now() //emx:hostclock // want "has no effect outside determinism-critical packages"
+}

@@ -1,0 +1,19 @@
+// Package directive exercises the directive well-formedness checks: a
+// typo or misplacement must be reported, never silently ignored.
+package directive
+
+// emx:hostclock // want "malformed emx directive"
+func A() {}
+
+//emx:hostclok // want "unknown emx directive //emx:hostclok"
+func B() {}
+
+//emx:determinism // want "must appear in the package doc comment"
+func C() {}
+
+// D carries a well-formed, known directive; whether it is USED is the
+// owning analyzer's business (detsource), not emxdirective's, so no
+// finding is expected here.
+//
+//emx:hostclock
+func D() {}

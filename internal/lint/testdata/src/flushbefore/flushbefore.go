@@ -1,0 +1,74 @@
+// Package flushbefore exercises the op-buffer flush analyzer with a
+// miniature copy of the runtime's coroutine/engine split.
+//
+//emx:determinism
+package flushbefore
+
+type opFlush struct{}
+
+type eng struct{ now int64 }
+
+// Now returns the simulated clock.
+func (e *eng) Now() int64 { return e.now }
+
+type thr struct {
+	m   *mach
+	buf []int
+}
+
+func (t *thr) yieldOp(op any) { _ = op }
+
+type mach struct {
+	eng *eng
+	cur *thr
+}
+
+// TC is the fixture's thread context.
+type TC struct{ t *thr }
+
+func (tc *TC) sync() {
+	if len(tc.t.buf) > 0 {
+		tc.t.yieldOp(opFlush{})
+	}
+}
+
+// Now flushes buffered operations before observing the clock: correct.
+func (tc *TC) Now() int64 {
+	tc.sync()
+	return tc.t.m.eng.Now()
+}
+
+// Stale reads the clock while buffered operations are still pending.
+func (tc *TC) Stale() int64 {
+	return tc.t.m.eng.Now() // want "observable Now() read in coroutine-side function Stale before any op-buffer flush"
+}
+
+type waitSet struct {
+	m       *mach
+	waiters []*thr
+}
+
+// notify is coroutine-side through the .cur read and flushes first.
+func (ws *waitSet) notify() {
+	if cur := ws.m.cur; cur != nil && len(cur.buf) > 0 {
+		cur.yieldOp(opFlush{})
+	}
+	ws.waiters = ws.waiters[:0]
+}
+
+// notifyStale observes the waiter list before flushing.
+func (ws *waitSet) notifyStale() int {
+	n := len(ws.waiters) // want "runtime field waiters read in coroutine-side function notifyStale before any op-buffer flush"
+	if cur := ws.m.cur; cur != nil && n > 0 {
+		cur.yieldOp(opFlush{})
+	}
+	return n
+}
+
+// engineSide runs in engine context (no TC receiver, no .cur read):
+// exempt from the flush protocol.
+func engineSide(e *eng, ws *waitSet) int64 {
+	return e.Now() + int64(len(ws.waiters))
+}
+
+var _ = engineSide

@@ -1,0 +1,32 @@
+// Package simtime exercises the simulated-clock analyzer.
+//
+//emx:determinism
+package simtime
+
+import (
+	"time"
+
+	"emx/internal/sim"
+)
+
+func tick() {}
+
+// Schedule exercises the delay checks on sim.Engine entry points.
+func Schedule(e *sim.Engine, d time.Duration, cycles sim.Time) {
+	e.After(10, tick)
+	e.After(cycles*2, tick)
+	e.After(-1, tick)          // want "negative delay -1 passed to sim.After always panics"
+	e.After(sim.Time(d), tick) // want "scheduled via sim.After" "conversion of host-derived value"
+}
+
+// Convert exercises the host-to-cycle conversion check.
+func Convert(d time.Duration) sim.Time {
+	return sim.Time(d) // want "conversion of host-derived value"
+}
+
+// Mix exercises the host/cycle arithmetic check.
+func Mix(cycles sim.Time, hostNanos int64) int64 {
+	sum := int64(cycles) + hostNanos // want "arithmetic mixes host-derived value (hostNanos) with a cycle count"
+	scaled := int64(cycles) * 2      // constant scaling: fine
+	return sum + scaled
+}

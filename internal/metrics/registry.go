@@ -92,6 +92,18 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.help[name] = help
 }
 
+// sortedKeys returns m's keys in ascending order: every iteration that
+// feeds ordered output goes through here, so exposition is independent
+// of Go's randomized map order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Snapshot returns every metric's current value keyed by its exposition
 // name (labeled series as name{key="value"}), for JSON status endpoints.
 func (r *Registry) Snapshot() map[string]float64 {
@@ -112,6 +124,24 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// Sample is one metric value under its exposition name.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Sorted returns every metric as (name, value) pairs in ascending name
+// order — the deterministic companion to Snapshot for dumps and logs,
+// where output is compared byte-for-byte across runs.
+func (r *Registry) Sorted() []Sample {
+	snap := r.Snapshot()
+	out := make([]Sample, 0, len(snap))
+	for _, name := range sortedKeys(snap) {
+		out = append(out, Sample{Name: name, Value: snap[name]})
+	}
+	return out
+}
+
 // WriteProm renders the registry in the Prometheus text format, metrics
 // sorted by name (and label value within a metric) so output is stable.
 func (r *Registry) WriteProm(w io.Writer) error {
@@ -120,26 +150,27 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		name, kind string
 		lines      []string
 	}
-	var ms []metric
-	for name, c := range r.counters {
+	// Iterate every family in sorted-name order so the rendered text is
+	// a pure function of the registry contents. Families are appended
+	// counters -> labeled -> gauges and merged with a stable sort, so
+	// even a (pathological) name collision across families renders
+	// deterministically.
+	ms := make([]metric, 0, len(r.counters)+len(r.labeled)+len(r.gauges))
+	for _, name := range sortedKeys(r.counters) {
 		ms = append(ms, metric{name, "counter",
-			[]string{fmt.Sprintf("%s %d", name, c.Value())}})
+			[]string{fmt.Sprintf("%s %d", name, r.counters[name].Value())}})
 	}
-	for name, vals := range r.labeled {
-		var lines []string
-		lvs := make([]string, 0, len(vals))
-		for lv := range vals {
-			lvs = append(lvs, lv)
-		}
-		sort.Strings(lvs)
-		for _, lv := range lvs {
+	for _, name := range sortedKeys(r.labeled) {
+		vals := r.labeled[name]
+		lines := make([]string, 0, len(vals))
+		for _, lv := range sortedKeys(vals) {
 			lines = append(lines, fmt.Sprintf("%s{%s=%q} %d", name, r.labelKey[name], lv, vals[lv].Value()))
 		}
 		ms = append(ms, metric{name, "counter", lines})
 	}
-	for name, fn := range r.gauges {
+	for _, name := range sortedKeys(r.gauges) {
 		ms = append(ms, metric{name, "gauge",
-			[]string{fmt.Sprintf("%s %g", name, fn())}})
+			[]string{fmt.Sprintf("%s %g", name, r.gauges[name]())}})
 	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
@@ -147,7 +178,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	r.mu.Unlock()
 
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 	var b strings.Builder
 	for _, m := range ms {
 		if h := help[m.name]; h != "" {

@@ -77,6 +77,77 @@ func TestWritePromFormat(t *testing.T) {
 	}
 }
 
+// TestWritePromDeterministic pins the exact exposition text: output is
+// a pure function of the registry contents, independent of the order
+// metrics were registered in (and therefore of Go's map iteration
+// order).
+func TestWritePromDeterministic(t *testing.T) {
+	build := func(reverse bool) string {
+		r := NewRegistry()
+		ops := []func(){
+			func() { r.Counter("runs_total", "runs").Add(7) },
+			func() { r.Labeled("cycles_total", "cycles", "workload", "fft").Add(50) },
+			func() { r.Labeled("cycles_total", "cycles", "workload", "bitonic").Add(100) },
+			func() { r.Gauge("depth", "jobs waiting", func() float64 { return 2 }) },
+		}
+		if reverse {
+			for i := len(ops) - 1; i >= 0; i-- {
+				ops[i]()
+			}
+		} else {
+			for _, op := range ops {
+				op()
+			}
+		}
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	want := "# HELP cycles_total cycles\n" +
+		"# TYPE cycles_total counter\n" +
+		"cycles_total{workload=\"bitonic\"} 100\n" +
+		"cycles_total{workload=\"fft\"} 50\n" +
+		"# HELP depth jobs waiting\n" +
+		"# TYPE depth gauge\n" +
+		"depth 2\n" +
+		"# HELP runs_total runs\n" +
+		"# TYPE runs_total counter\n" +
+		"runs_total 7\n"
+	if got := build(false); got != want {
+		t.Errorf("exposition:\n%q\nwant:\n%q", got, want)
+	}
+	if got := build(true); got != want {
+		t.Errorf("reverse registration order changed the exposition:\n%q", got)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "").Add(1)
+	r.Counter("a_total", "").Add(2)
+	r.Labeled("m_total", "", "k", "v").Add(3)
+	r.Gauge("g", "", func() float64 { return 1.5 })
+
+	got := r.Sorted()
+	want := []Sample{
+		{Name: "a_total", Value: 2},
+		{Name: "g", Value: 1.5},
+		{Name: `m_total{k="v"}`, Value: 3},
+		{Name: "z_total", Value: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sorted()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "").Add(4)

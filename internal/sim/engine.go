@@ -146,6 +146,8 @@ func (e *Engine) After(d Time, fn func()) {
 
 // AtHandler schedules h.OnEvent(arg) at absolute time t without
 // allocating. Scheduling in the past panics.
+//
+//emx:hotpath
 func (e *Engine) AtHandler(t Time, h Handler, arg EventArg) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
@@ -166,6 +168,8 @@ func (e *Engine) AtHandler(t Time, h Handler, arg EventArg) {
 
 // AfterHandler schedules h.OnEvent(arg) d cycles from now without
 // allocating. A negative delay panics.
+//
+//emx:hotpath
 func (e *Engine) AfterHandler(d Time, h Handler, arg EventArg) {
 	if d < 0 {
 		panic("sim: AfterHandler called with negative delay")
@@ -224,6 +228,8 @@ func (e *Engine) Step() bool {
 // time. Caller guarantees nearCount > 0; the scan is bounded by ringSize
 // because the earliest live ring event is always within ringSize cycles
 // of cursor.
+//
+//emx:hotpath
 func (e *Engine) nextNear() Time {
 	for {
 		b := &e.ring[e.cursor&ringMask]
@@ -238,6 +244,8 @@ func (e *Engine) nextNear() Time {
 
 // peekTime returns the time of the next event. Caller guarantees
 // Pending() > 0.
+//
+//emx:hotpath
 func (e *Engine) peekTime() Time {
 	if e.nearCount == 0 {
 		return e.heap[0].at
@@ -251,6 +259,8 @@ func (e *Engine) peekTime() Time {
 
 // pop removes and returns the next event in (at, seq) order. Caller
 // guarantees Pending() > 0.
+//
+//emx:hotpath
 func (e *Engine) pop() event {
 	if e.nearCount == 0 {
 		return e.popHeap()
@@ -283,6 +293,7 @@ func (a event) less(b event) bool {
 	return a.seq < b.seq
 }
 
+//emx:hotpath
 func (e *Engine) pushHeap(ev event) {
 	e.heap = append(e.heap, ev)
 	i := len(e.heap) - 1
@@ -296,6 +307,7 @@ func (e *Engine) pushHeap(ev event) {
 	}
 }
 
+//emx:hotpath
 func (e *Engine) popHeap() event {
 	top := e.heap[0]
 	last := len(e.heap) - 1
