@@ -19,21 +19,19 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"emx/internal/cluster"
 	"emx/internal/harness"
 	"emx/internal/labd"
-	"emx/internal/labd/service"
 )
 
 func main() {
@@ -81,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format  = fs.String("format", "table", "output: table, csv, chart, or json")
 		workers = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		seed    = fs.Int64("seed", 1, "input generator seed")
-		remote  = fs.String("remote", "", "base URL of a running emxd daemon (empty: run in-process)")
+		remote  = fs.String("remote", "", "comma-separated base URLs of running emxd nodes or an emxcluster gateway (empty: run in-process)")
 		cpuprof = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -250,32 +248,26 @@ func localPanels(scale int, seed int64, workers int, stderr io.Writer) (*labd.Sc
 	return sched, pr.Panel
 }
 
-// remotePanels requests panels from a running emxd daemon.
-func remotePanels(base string, scale int, seed int64) func(string) ([]harness.Figure, error) {
-	base = strings.TrimRight(base, "/")
+// remotePanels requests panels from running emxd nodes (or an
+// emxcluster gateway) through the failover-aware cluster client: with
+// several comma-separated URLs, panels shard across the nodes by
+// rendezvous hashing and a dead node's panels fail over to its peers —
+// byte-identically, since runs are deterministic.
+func remotePanels(remotes string, scale int, seed int64) func(string) ([]harness.Figure, error) {
+	var urls []string
+	for _, u := range strings.Split(remotes, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	m := cluster.NewMembership(urls, cluster.MembershipOptions{})
+	c := cluster.NewClient(m, cluster.ClientOptions{})
 	return func(name string) ([]harness.Figure, error) {
-		body, err := json.Marshal(service.FigureRequest{Fig: name, Scale: scale, Seed: seed})
+		figs, err := c.Figure(name, scale, seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("remote: %w", err)
 		}
-		resp, err := http.Post(base+"/v1/figure", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, fmt.Errorf("remote %s: %w", base, err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			var e struct {
-				Error string `json:"error"`
-			}
-			if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-				return nil, fmt.Errorf("remote %s: %s", base, e.Error)
-			}
-			return nil, fmt.Errorf("remote %s: HTTP %s", base, resp.Status)
-		}
-		var fr service.FigureResponse
-		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
-			return nil, fmt.Errorf("remote %s: bad response: %w", base, err)
-		}
-		return fr.Figures, nil
+		return figs, nil
 	}
 }

@@ -144,6 +144,40 @@ func TestRemoteDaemonRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRemoteMultiNode: a comma-separated -remote list shards panels
+// across nodes and survives one of them being dead, byte-identically.
+func TestRemoteMultiNode(t *testing.T) {
+	srv1 := service.New(service.Options{Scale: 1 << 20, Seed: 1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	defer func() { ts1.Close(); srv1.Close() }()
+	srv2 := service.New(service.Options{Scale: 1 << 20, Seed: 1})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); srv2.Close() }()
+	dead := httptest.NewServer(nil)
+	dead.Close()
+
+	// Enough panels that rendezvous hashing spreads them over both live
+	// nodes, chosen among the cheap-at-minimum-grid ones.
+	nodes := ts1.URL + "," + ts2.URL + "," + dead.URL
+	for _, fig := range []string{"6a", "6c", "7a", "7c", "model"} {
+		code, local, stderr := runCLI(t, "-fig", fig, "-scale", hugeScale, "-format", "csv")
+		if code != 0 {
+			t.Fatalf("local %s exit %d:\n%s", fig, code, stderr)
+		}
+		code, remote, stderr := runCLI(t, "-fig", fig, "-scale", hugeScale, "-format", "csv", "-remote", nodes)
+		if code != 0 {
+			t.Fatalf("multi-node %s exit %d:\n%s", fig, code, stderr)
+		}
+		if local != remote {
+			t.Fatalf("multi-node remote output for %s differs from local", fig)
+		}
+	}
+	s1, s2 := srv1.Scheduler().Stats().Started, srv2.Scheduler().Stats().Started
+	if s1 == 0 || s2 == 0 {
+		t.Fatalf("panels did not shard across nodes: started %d/%d", s1, s2)
+	}
+}
+
 func TestRemoteUnreachable(t *testing.T) {
 	code, _, stderr := runCLI(t, "-fig", "6a", "-remote", "http://127.0.0.1:1")
 	if code == 0 {

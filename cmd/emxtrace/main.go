@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"emx/internal/apps/bitonic"
@@ -22,15 +23,31 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emxtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "bitonic", "workload: bitonic, fft, or spmv")
-		p        = flag.Int("p", 2, "number of processors")
-		n        = flag.Int("n", 8, "problem size")
-		h        = flag.Int("h", 2, "threads per PE")
-		width    = flag.Int("width", 100, "timeline width in columns")
-		seed     = flag.Int64("seed", 7, "input seed")
+		workload = fs.String("workload", "bitonic", "workload: bitonic, fft, or spmv")
+		p        = fs.Int("p", 2, "number of processors")
+		n        = fs.Int("n", 8, "problem size")
+		h        = fs.Int("h", 2, "threads per PE")
+		width    = fs.Int("width", 100, "timeline width in columns")
+		seed     = fs.Int64("seed", 7, "input seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *p < 1 || *n < 1 || *h < 1 {
+		fmt.Fprintf(stderr, "emxtrace: -p, -n, and -h must be >= 1 (got p=%d n=%d h=%d)\n", *p, *n, *h)
+		return 2
+	}
+	if *width < 1 {
+		fmt.Fprintf(stderr, "emxtrace: -width must be >= 1, got %d\n", *width)
+		return 2
+	}
 
 	cfg := core.DefaultConfig(*p)
 	cfg.MaxCycles = 1 << 32
@@ -47,16 +64,17 @@ func main() {
 	case "spmv":
 		err = spmv.RunTraced(cfg, spmv.Params{N: *n, H: *h, Seed: *seed}, rec.Record)
 	default:
-		fmt.Fprintf(os.Stderr, "emxtrace: unknown workload %q\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "emxtrace: unknown workload %q (want bitonic, fft, or spmv)\n", *workload)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "emxtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "emxtrace:", err)
+		return 1
 	}
-	fmt.Printf("%s: P=%d, n=%d, h=%d — thread timelines (cf. paper Figures 4/5)\n\n",
+	fmt.Fprintf(stdout, "%s: P=%d, n=%d, h=%d — thread timelines (cf. paper Figures 4/5)\n\n",
 		*workload, *p, *n, *h)
-	fmt.Print(rec.Gantt(*width))
-	fmt.Println()
-	fmt.Print(rec.Summary())
+	fmt.Fprint(stdout, rec.Gantt(*width))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, rec.Summary())
+	return 0
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// goldenFigure4 is the complete default output — the paper's Figure 4
+// picture (bitonic, P=2, h=2, 8 elements, seed 7). The simulator is
+// deterministic, so this is byte-exact; a diff here means the machine
+// timing changed, which is a simulator change, not noise.
+const goldenFigure4 = `bitonic: P=2, n=8, h=2 — thread timelines (cf. paper Figures 4/5)
+
+time: 0 .. 326 cycles (16.30 us), one column = 3.3 cycles
+PE0 sort-t0 |   ==============================..................=======.........=======......==========.........=|
+PE0 sort-t1 |                                     =....======............====............=................=....= |
+PE1 sort-t0 |   ==============================..................=======.........=======......====...............=|
+PE1 sort-t1 |                                     =....======............====............=..........=======....= |
+legend: '=' running   '.' suspended/queued   ' ' inactive
+
+PE0: 2 starts, 9 resumes, 4 reads, 5 yields, 2 ends
+PE1: 2 starts, 9 resumes, 4 reads, 5 yields, 2 ends
+`
+
+func TestDefaultFigure4Golden(t *testing.T) {
+	code, stdout, stderr := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+	if stdout != goldenFigure4 {
+		t.Fatalf("default timeline drifted from the golden Figure 4 output:\n--- got ---\n%s\n--- want ---\n%s", stdout, goldenFigure4)
+	}
+}
+
+func TestTimelineIsDeterministic(t *testing.T) {
+	_, first, _ := runCLI(t, "-workload", "fft", "-p", "4", "-n", "16")
+	_, second, _ := runCLI(t, "-workload", "fft", "-p", "4", "-n", "16")
+	if first == "" || first != second {
+		t.Fatal("fft timeline not reproducible across runs")
+	}
+	if !strings.Contains(first, "fft: P=4, n=16, h=2") {
+		t.Fatalf("header missing:\n%s", first)
+	}
+}
+
+func TestEveryWorkloadTraces(t *testing.T) {
+	for _, w := range []string{"bitonic", "fft", "spmv"} {
+		code, stdout, stderr := runCLI(t, "-workload", w, "-n", "16", "-width", "40")
+		if code != 0 {
+			t.Errorf("%s: exit %d:\n%s", w, code, stderr)
+			continue
+		}
+		for _, want := range []string{"legend:", "PE0", "starts", "one column"} {
+			if !strings.Contains(stdout, want) {
+				t.Errorf("%s output missing %q:\n%s", w, want, stdout)
+			}
+		}
+	}
+}
+
+func TestInvalidFlagValuesExitNonZero(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "quicksort"},
+		{"-p", "0"},
+		{"-n", "0"},
+		{"-h", "-1"},
+		{"-width", "0"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		code, stdout, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+		if stdout != "" {
+			t.Errorf("args %v wrote to stdout despite failing:\n%s", args, stdout)
+		}
+		if stderr == "" {
+			t.Errorf("args %v rejected silently", args)
+		}
+	}
+}
+
+func TestUnknownWorkloadMessage(t *testing.T) {
+	_, _, stderr := runCLI(t, "-workload", "quicksort")
+	if !strings.Contains(stderr, `unknown workload "quicksort"`) ||
+		!strings.Contains(stderr, "bitonic") {
+		t.Fatalf("error must echo the bad value and list workloads:\n%s", stderr)
+	}
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emx/internal/labd/service"
+	"emx/internal/metrics"
+)
+
+func figureBody(t *testing.T, fig string) []byte {
+	t.Helper()
+	b, err := json.Marshal(service.FigureRequest{Fig: fig, Scale: hugeScale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClientRoutesToOwner(t *testing.T) {
+	_, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	m := NewMembership([]string{ts1.URL, ts2.URL}, MembershipOptions{})
+	reg := metrics.NewRegistry()
+	c := NewClient(m, ClientOptions{Registry: reg, RetryBackoff: time.Millisecond})
+
+	key := FigureKey("6a", hugeScale, 1)
+	owner := NewRing(m.Members()).Owner(key)
+	res, err := c.Do(key, "/v1/figure", figureBody(t, "6a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != owner {
+		t.Errorf("request answered by %s, want ring owner %s", res.Node, owner)
+	}
+	if res.Status != http.StatusOK {
+		t.Errorf("status %d", res.Status)
+	}
+	if reg.Snapshot()["emxcluster_failovers_total"] != 0 {
+		t.Error("routine owner hit counted as failover")
+	}
+}
+
+func TestClientFailsOverToPeer(t *testing.T) {
+	srv1, ts1 := newNode(t)
+	srv2, ts2 := newNode(t)
+	m := NewMembership([]string{ts1.URL, ts2.URL}, MembershipOptions{})
+	reg := metrics.NewRegistry()
+	c := NewClient(m, ClientOptions{Registry: reg, RetryBackoff: time.Millisecond})
+
+	key := FigureKey("6a", hugeScale, 1)
+	owner := NewRing(m.Members()).Owner(key)
+	// Kill the owner; the peer must answer with identical bytes.
+	peer := srv2
+	if owner == ts1.URL {
+		ts1.Close()
+	} else {
+		ts2.Close()
+		peer = srv1
+	}
+
+	res, err := c.Do(key, "/v1/figure", figureBody(t, "6a"))
+	if err != nil {
+		t.Fatalf("failover did not rescue the request: %v", err)
+	}
+	if res.Node == owner {
+		t.Fatal("dead owner answered")
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("status %d", res.Status)
+	}
+	if m.IsHealthy(owner) {
+		t.Error("dead owner not passively marked down")
+	}
+	snap := reg.Snapshot()
+	if snap["emxcluster_failovers_total"] == 0 || snap["emxcluster_retries_total"] == 0 {
+		t.Errorf("failover/retry counters not moved: %v", snap)
+	}
+	if peer.Scheduler().Stats().Started == 0 {
+		t.Error("surviving peer executed nothing")
+	}
+}
+
+func TestClientBusyNodeRetriesAndHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	busyThenOK := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"labd: run queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer busyThenOK.Close()
+
+	m := NewMembership([]string{busyThenOK.URL}, MembershipOptions{})
+	reg := metrics.NewRegistry()
+	c := NewClient(m, ClientOptions{
+		Registry:     reg,
+		RetryBackoff: time.Millisecond,
+		MaxRetryWait: 5 * time.Millisecond, // cap the 1s Retry-After for the test
+	})
+	start := time.Now()
+	res, err := c.Do("some-key", "/v1/run", []byte(`{}`))
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("res %+v err %v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("MaxRetryWait did not cap the Retry-After wait: %s", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (busy then success)", calls.Load())
+	}
+	// Backpressure must not mark the node dead — it answered.
+	if !m.IsHealthy(busyThenOK.URL) {
+		t.Error("503 backpressure marked the node down")
+	}
+}
+
+func TestClientDoesNotRetryValidationErrors(t *testing.T) {
+	var calls atomic.Int32
+	badReq := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"p must be >= 1"}`))
+	}))
+	defer badReq.Close()
+
+	m := NewMembership([]string{badReq.URL}, MembershipOptions{})
+	c := NewClient(m, ClientOptions{RetryBackoff: time.Millisecond})
+	res, err := c.Do("k", "/v1/run", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 passed through", res.Status)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+}
+
+func TestClientHedgesSlowOwner(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	defer close(release) // LIFO: unblock the parked handler before Close waits on it
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"fast":true}`))
+	}))
+	defer fast.Close()
+
+	m := NewMembership([]string{slow.URL, fast.URL}, MembershipOptions{})
+	reg := metrics.NewRegistry()
+	c := NewClient(m, ClientOptions{
+		Registry:     reg,
+		RetryBackoff: time.Millisecond,
+		HedgeDelay:   5 * time.Millisecond,
+	})
+
+	// Find a key the slow node owns, so the hedge targets the fast one.
+	ring := NewRing(m.Members())
+	key := "k0"
+	for i := 0; ring.Owner(key) != slow.URL && i < 10000; i++ {
+		key = "k" + string(rune('a'+i%26)) + key
+	}
+	if ring.Owner(key) != slow.URL {
+		t.Fatal("could not construct a key owned by the slow node")
+	}
+
+	res, err := c.Do(key, "/v1/run", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != fast.URL {
+		t.Fatalf("answered by %s, want hedged fast node", res.Node)
+	}
+	snap := reg.Snapshot()
+	if snap["emxcluster_hedges_total"] == 0 || snap["emxcluster_hedge_wins_total"] == 0 {
+		t.Errorf("hedge counters not moved: %v", snap)
+	}
+}
+
+func TestClientLocalFallback(t *testing.T) {
+	srv := service.New(service.Options{Scale: hugeScale, Seed: 1})
+	defer srv.Close()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	m := NewMembership([]string{dead.URL}, MembershipOptions{})
+	reg := metrics.NewRegistry()
+	c := NewClient(m, ClientOptions{
+		Registry:     reg,
+		Retries:      -1, // no remote retries: straight to local after the owner fails
+		RetryBackoff: time.Millisecond,
+		Local:        srv.Handler(),
+	})
+
+	figs, err := c.Figure("6a", hugeScale, 1)
+	if err != nil {
+		t.Fatalf("local fallback failed: %v", err)
+	}
+	if len(figs) != 1 || figs[0].SimCycles == 0 {
+		t.Fatalf("bad figures %+v", figs)
+	}
+	if reg.Snapshot()["emxcluster_local_fallback_total"] != 1 {
+		t.Error("local fallback not counted")
+	}
+	if srv.Scheduler().Stats().Started == 0 {
+		t.Error("local scheduler executed nothing")
+	}
+}

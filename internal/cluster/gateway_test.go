@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"emx/internal/labd/service"
+)
+
+// sweepPanels is a small cross-section of the paper's figure panels —
+// chosen among the cheap-at-minimum-grid panels so the failover sweep
+// stays fast under -race in CI.
+var sweepPanels = []string{"6a", "6c", "7a", "7c", "model"}
+
+type testCluster struct {
+	servers  []*service.Server
+	backends []*httptest.Server
+	members  *Membership
+	gateway  *Gateway
+	front    *httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, ts := newNode(t)
+		tc.servers = append(tc.servers, srv)
+		tc.backends = append(tc.backends, ts)
+		urls[i] = ts.URL
+	}
+	tc.members = NewMembership(urls, MembershipOptions{})
+	tc.members.ProbeAll()
+	tc.gateway = NewGateway(tc.members, GatewayOptions{
+		Scale:  hugeScale,
+		Seed:   1,
+		Client: ClientOptions{RetryBackoff: time.Millisecond},
+	})
+	tc.front = httptest.NewServer(tc.gateway.Handler())
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+func postFigure(t *testing.T, base, fig string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(service.FigureRequest{Fig: fig, Scale: hugeScale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/figure", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestGatewayFailoverSweep is the cluster acceptance test: panel output
+// through a 3-node gateway is byte-identical to a single emxd node,
+// including when one node is killed mid-sweep — requests fail over and
+// the sweep completes without client-visible errors.
+func TestGatewayFailoverSweep(t *testing.T) {
+	// Single-node baseline.
+	_, solo := newNode(t)
+	baseline := map[string][]byte{}
+	for _, fig := range sweepPanels {
+		resp, b := postFigure(t, solo.URL, fig)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline %s: HTTP %d", fig, resp.StatusCode)
+		}
+		baseline[fig] = b
+	}
+
+	tc := newTestCluster(t, 3)
+
+	// Pick the victim so the kill actually matters: the node that owns a
+	// panel in the second half of the sweep must die before serving it.
+	ring := NewRing(tc.members.Members())
+	mid := len(sweepPanels) / 2
+	victim := ring.Owner(FigureKey(sweepPanels[mid], hugeScale, 1))
+	var victimSrv *httptest.Server
+	for _, b := range tc.backends {
+		if b.URL == victim {
+			victimSrv = b
+		}
+	}
+
+	nodesSeen := map[string]bool{}
+	for i, fig := range sweepPanels {
+		if i == mid {
+			// Kill the owner mid-sweep — hard close, connections refused.
+			victimSrv.Close()
+		}
+		resp, b := postFigure(t, tc.front.URL, fig)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("gateway %s: HTTP %d: %s", fig, resp.StatusCode, b)
+		}
+		if !bytes.Equal(b, baseline[fig]) {
+			t.Fatalf("panel %s through the gateway differs from single-node output:\n%s\nvs\n%s", fig, b, baseline[fig])
+		}
+		nodesSeen[resp.Header.Get(NodeHeader)] = true
+	}
+	if len(nodesSeen) < 2 {
+		t.Errorf("all panels answered by %v; rendezvous hashing did not spread the sweep", nodesSeen)
+	}
+
+	// The dead owner is passively marked down and the failover counters
+	// moved — the failover was real, not a lucky routing miss.
+	if tc.members.IsHealthy(victim) {
+		t.Error("killed node still marked healthy after serving the sweep")
+	}
+	if nodesSeen[victim] && tc.gateway.Registry().Snapshot()["emxcluster_failovers_total"] == 0 {
+		t.Error("no failover counted despite the victim owning a served panel")
+	}
+
+	// Same sweep again: every panel must now be served without touching
+	// the dead node, still byte-identical.
+	for _, fig := range sweepPanels {
+		resp, b := postFigure(t, tc.front.URL, fig)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(b, baseline[fig]) {
+			t.Fatalf("post-failure panel %s: HTTP %d or bytes differ", fig, resp.StatusCode)
+		}
+	}
+}
+
+// TestGatewayShardsRunCaches: single points route by RunIdentity hash,
+// so each run executes on exactly one node and repeats are cache hits
+// on that owner — the LRU caches shard instead of duplicating.
+func TestGatewayShardsRunCaches(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	reqs := []service.RunRequest{
+		{Workload: "bitonic", P: 4, H: 2, N: 64 << 10},
+		{Workload: "fft", P: 4, H: 2, N: 64 << 10},
+		{Workload: "spmv", P: 4, H: 1, N: 64 << 20}, // large N: spmv needs a real matrix even at hugeScale
+		{Workload: "bitonic", P: 8, H: 4, N: 128 << 10},
+		{Workload: "fft", P: 8, H: 1, N: 128 << 10},
+	}
+	nodeFor := map[string]string{}
+	for round := 0; round < 2; round++ {
+		for i, rr := range reqs {
+			body, _ := json.Marshal(rr)
+			resp, err := http.Post(tc.front.URL+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rres service.RunResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rres); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("run %d: HTTP %d", i, resp.StatusCode)
+			}
+			node := resp.Header.Get(NodeHeader)
+			if prev, ok := nodeFor[rres.Key]; ok && prev != node {
+				t.Errorf("run %s moved from %s to %s with a stable member set", rres.Key[:8], prev, node)
+			}
+			nodeFor[rres.Key] = node
+			if round == 1 && rres.Source != "cached" {
+				t.Errorf("repeat of run %d was %q on its owner, want cached", i, rres.Source)
+			}
+		}
+	}
+
+	// Total executions across the cluster == number of distinct runs:
+	// nothing ran twice, nothing was duplicated across shards.
+	var started uint64
+	for _, srv := range tc.servers {
+		started += srv.Scheduler().Stats().Started
+	}
+	if started != uint64(len(reqs)) {
+		t.Errorf("cluster executed %d runs for %d distinct requests", started, len(reqs))
+	}
+}
+
+func TestGatewayStatusAndMetrics(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	postFigure(t, tc.front.URL, "6a")
+
+	resp, err := http.Get(tc.front.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Members != 3 || st.Healthy != 3 || len(st.Nodes) != 3 {
+		t.Fatalf("cluster status %+v", st)
+	}
+	for _, n := range st.Nodes {
+		if n.QueueCap == 0 {
+			t.Errorf("node %s has no probed load in status", n.URL)
+		}
+	}
+
+	mresp, err := http.Get(tc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	b, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"emxcluster_attempts_total",
+		"emxcluster_members 3",
+		"emxcluster_members_healthy 3",
+		`emxcluster_responses_total{code="200"}`,
+		"# TYPE emxcluster_request_seconds histogram",
+	} {
+		if !bytes.Contains(b, []byte(want)) {
+			t.Errorf("gateway /metrics missing %q", want)
+		}
+	}
+
+	// Nodes saw the traffic as cluster-forwarded.
+	var forwarded float64
+	for _, srv := range tc.servers {
+		forwarded += srv.Registry().Snapshot()["emxd_forwarded_requests_total"]
+	}
+	if forwarded == 0 {
+		t.Error("no node counted a forwarded request")
+	}
+}
+
+func TestGatewayValidationPassThrough(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	body, _ := json.Marshal(service.RunRequest{Workload: "quicksort", P: 4, H: 1, N: 1024})
+	resp, err := http.Post(tc.front.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 from gateway-side validation", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+		t.Fatal("validation error lost its message through the gateway")
+	}
+}

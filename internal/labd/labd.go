@@ -295,6 +295,19 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
+// CacheHitRatio is the fraction of resolved requests served from the
+// result cache: hits / (hits + coalesced + executed). Requests still in
+// the queue are not counted. The cluster membership prober reads this
+// for load-aware hedging — a cold node resolves most requests by
+// executing and is a worse hedge target than a warm one.
+func (st Stats) CacheHitRatio() float64 {
+	total := st.CacheHits + st.Coalesced + st.Started
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
 // Throughput reports the simulator's host throughput: simulated cycles
 // and engine events per host second of execution, aggregated over every
 // run this scheduler executed (cache and coalesced hits excluded).

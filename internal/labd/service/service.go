@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +25,11 @@ import (
 	"emx/internal/metrics"
 	"emx/internal/proc"
 )
+
+// ForwardedByHeader marks a request as relayed by the cluster layer
+// (the emxcluster gateway or cluster.Client). Nodes count these so an
+// operator can tell direct traffic from cluster-routed traffic.
+const ForwardedByHeader = "X-Emx-Forwarded-By"
 
 // Options configures a Server. Zero values select the harness defaults
 // (DefaultScale, seed 1) and labd's pool defaults.
@@ -42,6 +48,10 @@ type Server struct {
 	sched *labd.Scheduler
 	mux   *http.ServeMux
 	start time.Time
+
+	latency   *metrics.Histogram
+	forwarded *metrics.Counter
+	responses func(code int) *metrics.Counter
 }
 
 // New builds a server and starts its scheduler.
@@ -58,6 +68,15 @@ func New(opts Options) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(), //emx:hostclock serving-uptime observability
 	}
+	reg := s.sched.Registry()
+	s.latency = reg.Histogram("emxd_http_request_seconds",
+		"HTTP request latency on the serving host", metrics.DefLatencyBuckets)
+	s.forwarded = reg.Counter("emxd_forwarded_requests_total",
+		"requests relayed by the cluster gateway or cluster client")
+	s.responses = func(code int) *metrics.Counter {
+		return reg.Labeled("emxd_http_responses_total",
+			"HTTP responses by status code", "code", strconv.Itoa(code))
+	}
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/figure", s.handleFigure)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
@@ -65,8 +84,32 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the API. Every request
+// passes through the accounting wrapper: response-code counters, the
+// latency histogram, and the forwarded-origin counter.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serve) }
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //emx:hostclock request-latency observability
+	if r.Header.Get(ForwardedByHeader) != "" {
+		s.forwarded.Inc()
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.responses(sw.code).Inc()
+	s.latency.Observe(time.Since(start).Seconds()) //emx:hostclock
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
 
 // Scheduler exposes the underlying scheduler (shared with in-process
 // sweeps and tests).
@@ -156,6 +199,14 @@ type Throughput struct {
 	HostRunSeconds  float64 `json:"host_run_seconds_total"`
 	CyclesPerSecond float64 `json:"sim_cycles_per_second"`
 	EventsPerSecond float64 `json:"sim_events_per_second"`
+
+	// QueueDepth and CacheHitRatio describe current load: runs admitted
+	// but not started, and the fraction of resolved requests served from
+	// the result cache. The cluster membership prober reads both for
+	// load-aware hedging (a backed-up or cold node is a poor hedge
+	// target), so they live here with the other host-side rates.
+	QueueDepth    int     `json:"queue_depth"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
 type errorResponse struct {
@@ -170,16 +221,40 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps scheduler backpressure onto HTTP: a full queue is 503
+// with a Retry-After estimating how long the backlog takes to drain —
+// never a blocking wait and never a 500 — so cluster clients get a real
+// signal to back off or fail over.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, labd.ErrQueueFull):
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	case errors.Is(err, labd.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds estimates queue-drain time from the observed mean
+// run duration: depth/workers runs ahead of a newly admitted one, each
+// costing ~HostSeconds/Started. Clamped to [1, 30] so a cold scheduler
+// (no history) or a pathological backlog still yields a sane hint.
+func (s *Server) retryAfterSeconds() int {
+	st := s.sched.Stats()
+	secs := 1
+	if st.Started > 0 && st.Workers > 0 {
+		mean := st.HostSeconds / float64(st.Started)
+		secs = int(mean * float64(st.QueueDepth) / float64(st.Workers))
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
@@ -197,19 +272,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad request body: %w", err))
+		s.writeError(w, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	ps, scale, err := s.pointSpec(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	run, src, err := s.sched.Do(ps.Key(scale), func() (*metrics.Run, error) {
 		return harness.RunPoint(ps)
 	})
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	b := run.TotalBreakdown()
@@ -235,6 +310,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // pointSpec validates a run request and resolves it to a PointSpec.
 func (s *Server) pointSpec(req RunRequest) (harness.PointSpec, int, error) {
+	return ResolveRun(req, s.opts.Scale, s.opts.Seed)
+}
+
+// ResolveRun validates a run request against default scale/seed and
+// resolves it to the point it will execute, plus the effective scale.
+// It is the single request→identity mapping: the cluster gateway calls
+// it with the same defaults as its member nodes, so the routing key it
+// hashes is exactly the cache key the owning node will store under.
+func ResolveRun(req RunRequest, defaultScale int, defaultSeed int64) (harness.PointSpec, int, error) {
 	w, err := harness.ParseWorkload(strings.ToLower(req.Workload))
 	if err != nil {
 		return harness.PointSpec{}, 0, err
@@ -250,14 +334,14 @@ func (s *Server) pointSpec(req RunRequest) (harness.PointSpec, int, error) {
 	}
 	scale := req.Scale
 	if scale == 0 {
-		scale = s.opts.Scale
+		scale = defaultScale
 	}
 	if scale < 1 {
 		return harness.PointSpec{}, 0, fmt.Errorf("scale must be >= 1, got %d", scale)
 	}
 	seed := req.Seed
 	if seed == 0 {
-		seed = s.opts.Seed
+		seed = defaultSeed
 	}
 	mode, err := parseMode(req.Mode)
 	if err != nil {
@@ -284,12 +368,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	var req FigureRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad request body: %w", err))
+		s.writeError(w, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	name := strings.ToLower(req.Fig)
 	if !harness.ValidPanel(name) {
-		writeError(w, fmt.Errorf("unknown panel %q: valid panels are %s",
+		s.writeError(w, fmt.Errorf("unknown panel %q: valid panels are %s",
 			req.Fig, strings.Join(harness.PanelNames(), ", ")))
 		return
 	}
@@ -298,7 +382,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		scale = s.opts.Scale
 	}
 	if scale < 1 {
-		writeError(w, fmt.Errorf("scale must be >= 1, got %d", scale))
+		s.writeError(w, fmt.Errorf("scale must be >= 1, got %d", scale))
 		return
 	}
 	seed := req.Seed
@@ -308,7 +392,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	pr := harness.NewPanelRunner(harness.PanelOptions{Scale: scale, Seed: seed}, s.sched)
 	figs, err := pr.Panel(name)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, FigureResponse{
@@ -335,6 +419,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			HostRunSeconds:  st.HostSeconds,
 			CyclesPerSecond: cps,
 			EventsPerSecond: eps,
+			QueueDepth:      st.QueueDepth,
+			CacheHitRatio:   st.CacheHitRatio(),
 		},
 		Counters: s.sched.Registry().Snapshot(),
 	})

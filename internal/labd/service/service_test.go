@@ -255,3 +255,79 @@ func TestBackpressure503(t *testing.T) {
 	<-done
 	<-done
 }
+
+// TestStatusThroughputLoadFields: the throughput block carries queue
+// depth and cache hit-ratio — the load signals the cluster membership
+// prober reads for load-aware hedging.
+func TestStatusThroughputLoadFields(t *testing.T) {
+	srv, ts := newTestServer(t)
+	req := RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10}
+	postJSON(t, ts.URL+"/v1/run", req).Body.Close() // executed
+	postJSON(t, ts.URL+"/v1/run", req).Body.Close() // cached
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := decode[StatusResponse](t, resp)
+	if got := status.Throughput.CacheHitRatio; got != 0.5 {
+		t.Errorf("cache_hit_ratio = %g, want 0.5 (1 hit / 2 resolved)", got)
+	}
+	if status.Throughput.QueueDepth != 0 {
+		t.Errorf("queue_depth = %d, want 0 at idle", status.Throughput.QueueDepth)
+	}
+	if srv.Scheduler().Stats().CacheHitRatio() != 0.5 {
+		t.Errorf("Stats().CacheHitRatio() = %g", srv.Scheduler().Stats().CacheHitRatio())
+	}
+}
+
+// TestRequestAccounting: the handler wrapper counts responses by status
+// code, observes request latency, and tallies cluster-forwarded
+// requests separately from direct ones.
+func TestRequestAccounting(t *testing.T) {
+	srv, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10}).Body.Close()
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "nope", P: 4, H: 2, N: 1024}).Body.Close()
+
+	fwd, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd.Header.Set(ForwardedByHeader, "emxcluster")
+	resp, err := http.DefaultClient.Do(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	snap := srv.Registry().Snapshot()
+	if snap[`emxd_http_responses_total{code="200"}`] < 2 {
+		t.Errorf("200 responses = %v", snap[`emxd_http_responses_total{code="200"}`])
+	}
+	if snap[`emxd_http_responses_total{code="400"}`] != 1 {
+		t.Errorf("400 responses = %v", snap[`emxd_http_responses_total{code="400"}`])
+	}
+	if snap["emxd_forwarded_requests_total"] != 1 {
+		t.Errorf("forwarded = %v", snap["emxd_forwarded_requests_total"])
+	}
+	if snap["emxd_http_request_seconds_count"] != 3 {
+		t.Errorf("latency observations = %v", snap["emxd_http_request_seconds_count"])
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	for _, want := range []string{
+		"# TYPE emxd_http_request_seconds histogram",
+		`emxd_http_request_seconds_bucket{le="+Inf"}`,
+		`emxd_http_responses_total{code="200"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

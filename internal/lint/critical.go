@@ -36,7 +36,9 @@ var (
 		"emx/internal/analytic",
 		"emx/internal/refalgo",
 		"emx/internal/labd",
+		"emx/internal/cluster",
 		"emx/cmd/emxbench",
+		"emx/cmd/emxcluster",
 	}
 	simCorePrefixes = []string{
 		"emx/internal/core",

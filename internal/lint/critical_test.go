@@ -29,7 +29,9 @@ func TestCriticalTiers(t *testing.T) {
 		{"emx/internal/metrics", true, false},
 		{"emx/internal/labd", true, false},
 		{"emx/internal/labd/service", true, false},
+		{"emx/internal/cluster", true, false}, // failover must be byte-transparent
 		{"emx/cmd/emxbench", true, false},
+		{"emx/cmd/emxcluster", true, false},
 
 		// Everything else is out of scope.
 		{"emx/internal/lint", false, false},

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefLatencyBuckets are the fixed upper bounds (in seconds) used for
+// request-latency histograms across the serving layer. The spread runs
+// from a cache hit (~1ms) to a full figure sweep at large scale
+// (minutes); a fixed set keeps exposition byte-comparable across
+// processes and restarts.
+var DefLatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: observations land in the first bucket whose upper bound is >=
+// the value, with an implicit +Inf bucket catching the rest. Bounds are
+// fixed at registration — there is no dynamic resizing, so exposition
+// for a given observation sequence is a pure function of the inputs.
+// Safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+// newHistogram copies and sorts the bounds so callers cannot alias the
+// internal slice.
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts (one per bound, then +Inf),
+// the sum, and the count, consistently under one lock acquisition.
+func (h *Histogram) snapshot() (cumulative []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cumulative[i] = acc
+	}
+	return cumulative, h.sum, h.n
+}
+
+// promLines renders the histogram as Prometheus exposition lines:
+// name_bucket{le="..."} per bound (cumulative), the +Inf bucket, then
+// name_sum and name_count. Bound and sum formatting use the shortest
+// exact representation ('g', -1), so output is byte-stable.
+func (h *Histogram) promLines(name string) []string {
+	cum, sum, n := h.snapshot()
+	lines := make([]string, 0, len(cum)+2)
+	for i, b := range h.bounds {
+		lines = append(lines, name+`_bucket{le="`+formatFloat(b)+`"} `+strconv.FormatUint(cum[i], 10))
+	}
+	lines = append(lines,
+		name+`_bucket{le="+Inf"} `+strconv.FormatUint(cum[len(cum)-1], 10),
+		name+"_sum "+formatFloat(sum),
+		name+"_count "+strconv.FormatUint(n, 10))
+	return lines
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.5, 100} {
+		h.Observe(v)
+	}
+	cum, sum, n := h.snapshot()
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive); 0.5 in le=1;
+	// 1.5 in le=10; 100 in +Inf. Cumulative: 2, 3, 4, 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if n != 5 {
+		t.Errorf("count = %d, want 5", n)
+	}
+	if sum != 0.05+0.1+0.5+1.5+100 {
+		t.Errorf("sum = %g", sum)
+	}
+}
+
+// TestHistogramPromExposition pins the rendered bytes: the text format
+// is diffed across runs and hosts, so it must be exactly reproducible
+// for a given observation sequence.
+func TestHistogramPromExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("emx_test_seconds", "test latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 1.5, 100} {
+		h.Observe(v)
+	}
+	reg.Counter("emx_test_total", "companion counter").Add(4)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP emx_test_seconds test latency
+# TYPE emx_test_seconds histogram
+emx_test_seconds_bucket{le="0.1"} 1
+emx_test_seconds_bucket{le="1"} 2
+emx_test_seconds_bucket{le="10"} 3
+emx_test_seconds_bucket{le="+Inf"} 4
+emx_test_seconds_sum 102.05
+emx_test_seconds_count 4
+# HELP emx_test_total companion counter
+# TYPE emx_test_total counter
+emx_test_total 4
+`
+	if b.String() != want {
+		t.Fatalf("exposition not byte-exact:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramSnapshotEntries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("emx_lat_seconds", "lat", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	snap := reg.Snapshot()
+	if snap["emx_lat_seconds_count"] != 2 {
+		t.Errorf("count entry = %v", snap["emx_lat_seconds_count"])
+	}
+	if snap["emx_lat_seconds_sum"] != 2.5 {
+		t.Errorf("sum entry = %v", snap["emx_lat_seconds_sum"])
+	}
+	// Re-registration returns the same histogram.
+	if reg.Histogram("emx_lat_seconds", "lat", []float64{99}) != h {
+		t.Error("re-registration created a new histogram")
+	}
+}

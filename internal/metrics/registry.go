@@ -36,6 +36,7 @@ type Registry struct {
 	labeled  map[string]map[string]*Counter // name -> label value -> counter
 	labelKey map[string]string              // name -> label key
 	gauges   map[string]func() float64
+	hists    map[string]*Histogram
 	help     map[string]string
 }
 
@@ -46,6 +47,7 @@ func NewRegistry() *Registry {
 		labeled:  map[string]map[string]*Counter{},
 		labelKey: map[string]string{},
 		gauges:   map[string]func() float64{},
+		hists:    map[string]*Histogram{},
 		help:     map[string]string{},
 	}
 }
@@ -92,6 +94,20 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.help[name] = help
 }
 
+// Histogram returns the named fixed-bucket histogram, registering it on
+// first use. A name keeps the bucket bounds of its first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		r.help[name] = help
+	}
+	return h
+}
+
 // sortedKeys returns m's keys in ascending order: every iteration that
 // feeds ordered output goes through here, so exposition is independent
 // of Go's randomized map order.
@@ -120,6 +136,10 @@ func (r *Registry) Snapshot() map[string]float64 {
 	}
 	for name, fn := range r.gauges {
 		out[name] = fn()
+	}
+	for name, h := range r.hists {
+		out[name+"_sum"] = h.Sum()
+		out[name+"_count"] = float64(h.Count())
 	}
 	return out
 }
@@ -155,7 +175,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	// counters -> labeled -> gauges and merged with a stable sort, so
 	// even a (pathological) name collision across families renders
 	// deterministically.
-	ms := make([]metric, 0, len(r.counters)+len(r.labeled)+len(r.gauges))
+	ms := make([]metric, 0, len(r.counters)+len(r.labeled)+len(r.gauges)+len(r.hists))
 	for _, name := range sortedKeys(r.counters) {
 		ms = append(ms, metric{name, "counter",
 			[]string{fmt.Sprintf("%s %d", name, r.counters[name].Value())}})
@@ -171,6 +191,9 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, name := range sortedKeys(r.gauges) {
 		ms = append(ms, metric{name, "gauge",
 			[]string{fmt.Sprintf("%s %g", name, r.gauges[name]())}})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		ms = append(ms, metric{name, "histogram", r.hists[name].promLines(name)})
 	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
