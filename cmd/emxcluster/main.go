@@ -16,6 +16,7 @@
 //
 //	POST /v1/run     one simulation point, routed to its owner
 //	POST /v1/figure  one figure panel, routed whole to one owner
+//	POST /v1/profile one profiled point, routed with its run's owner
 //	GET  /v1/status  cluster membership + routing counters
 //	GET  /metrics    Prometheus text counters
 //

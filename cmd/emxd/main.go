@@ -13,6 +13,7 @@
 //
 //	POST /v1/run     one simulation point
 //	POST /v1/figure  one figure panel (6a-9d, ablations, ...)
+//	POST /v1/profile one point with the emxprof tracer attached
 //	GET  /v1/status  scheduler/cache state
 //	GET  /metrics    Prometheus text counters
 //

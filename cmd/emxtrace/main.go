@@ -7,6 +7,7 @@
 //
 //	emxtrace                           # Figure 4: bitonic, P=2, h=2, 8 elements
 //	emxtrace -workload fft -p 4 -n 16  # Figure 5: FFT iteration structure
+//	emxtrace -format perfetto > fig4.trace.json   # open in ui.perfetto.dev
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"emx/internal/apps/fft"
 	"emx/internal/apps/spmv"
 	"emx/internal/core"
+	"emx/internal/obs"
 	"emx/internal/trace"
 )
 
@@ -36,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		h        = fs.Int("h", 2, "threads per PE")
 		width    = fs.Int("width", 100, "timeline width in columns")
 		seed     = fs.Int64("seed", 7, "input seed")
+		format   = fs.String("format", "gantt", "output: gantt (Figure-4 ASCII) or perfetto (trace-event JSON)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,21 +51,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "emxtrace: -width must be >= 1, got %d\n", *width)
 		return 2
 	}
+	if *format != "gantt" && *format != "perfetto" {
+		fmt.Fprintf(stderr, "emxtrace: unknown format %q (want gantt or perfetto)\n", *format)
+		return 2
+	}
 
 	cfg := core.DefaultConfig(*p)
 	cfg.MaxCycles = 1 << 32
 
 	// The workloads construct their own machine, so run them through a
-	// thin indirection that lets us install the tracer first.
-	rec := &trace.Recorder{}
+	// thin indirection that lets us install the tracers first. The
+	// lifecycle recorder feeds the ASCII timeline; the obs tracer carries
+	// the richer event stream the Perfetto export renders.
+	rec := trace.NewRecorder(0)
+	var tr *obs.Tracer
+	if *format == "perfetto" {
+		tr = obs.New(obs.Options{P: *p})
+	}
 	var err error
 	switch *workload {
 	case "bitonic":
-		err = bitonic.RunTraced(cfg, bitonic.Params{N: *n, H: *h, Seed: *seed}, rec.Record)
+		_, err = bitonic.Run(cfg, bitonic.Params{N: *n, H: *h, Seed: *seed, Tracer: rec.Record, Obs: tr})
 	case "fft":
-		err = fft.RunTraced(cfg, fft.Params{N: *n, H: *h, Seed: *seed}, rec.Record)
+		_, err = fft.Run(cfg, fft.Params{N: *n, H: *h, Seed: *seed, Tracer: rec.Record, Obs: tr})
 	case "spmv":
-		err = spmv.RunTraced(cfg, spmv.Params{N: *n, H: *h, Seed: *seed}, rec.Record)
+		_, err = spmv.Run(cfg, spmv.Params{N: *n, H: *h, Seed: *seed, Tracer: rec.Record, Obs: tr})
 	default:
 		fmt.Fprintf(stderr, "emxtrace: unknown workload %q (want bitonic, fft, or spmv)\n", *workload)
 		return 2
@@ -70,6 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "emxtrace:", err)
 		return 1
+	}
+
+	if tr != nil {
+		label := fmt.Sprintf("%s P=%d n=%d h=%d", *workload, *p, *n, *h)
+		tw := obs.NewTraceWriter(stdout)
+		obs.AppendTrace(tw, 1, label, tr.Profile(), tr.Events(), tr.Names())
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(stderr, "emxtrace:", err)
+			return 1
+		}
+		return 0
 	}
 	fmt.Fprintf(stdout, "%s: P=%d, n=%d, h=%d — thread timelines (cf. paper Figures 4/5)\n\n",
 		*workload, *p, *n, *h)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -94,5 +95,45 @@ func TestUnknownWorkloadMessage(t *testing.T) {
 	if !strings.Contains(stderr, `unknown workload "quicksort"`) ||
 		!strings.Contains(stderr, "bitonic") {
 		t.Fatalf("error must echo the bad value and list workloads:\n%s", stderr)
+	}
+}
+
+// TestPerfettoFormat: -format perfetto emits a valid trace-event JSON
+// document for the same deterministic run, byte-identical across
+// invocations.
+func TestPerfettoFormat(t *testing.T) {
+	code, first, stderr := runCLI(t, "-format", "perfetto")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(first), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("bad trace document: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	if !strings.Contains(first, "bitonic P=2 n=8 h=2") {
+		t.Error("trace missing the run label in process names")
+	}
+	_, second, _ := runCLI(t, "-format", "perfetto")
+	if first != second {
+		t.Fatal("perfetto trace not byte-identical across runs")
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-format", "svg")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Fatalf("wrote stdout despite failing:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, `unknown format "svg"`) {
+		t.Fatalf("error must echo the bad format:\n%s", stderr)
 	}
 }

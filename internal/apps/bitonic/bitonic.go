@@ -35,6 +35,7 @@ import (
 	"emx/internal/core"
 	"emx/internal/dist"
 	"emx/internal/metrics"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/refalgo"
 	"emx/internal/sim"
@@ -71,6 +72,9 @@ type Params struct {
 	// Tracer, when non-nil, receives every thread lifecycle event
 	// (see core.TraceEvent); used by emxtrace for Figure 4/5 timelines.
 	Tracer func(core.TraceEvent)
+	// Obs, when non-nil, is attached to the machine for cycle-accounting
+	// profiles and structured traces (emxprof). Must be sized for cfg.P.
+	Obs *obs.Tracer
 	// SkipVerify disables the post-run sortedness/permutation check
 	// (benchmark sweeps verify once separately).
 	SkipVerify bool
@@ -138,6 +142,9 @@ func Run(cfg core.Config, p Params) (*metrics.Run, error) {
 	}
 	if p.Tracer != nil {
 		mach.SetTracer(p.Tracer)
+	}
+	if p.Obs != nil {
+		mach.SetObs(p.Obs)
 	}
 
 	// Deterministic input, blocked distribution into buffer parity 0.

@@ -27,6 +27,7 @@ import (
 	"emx/internal/core"
 	"emx/internal/dist"
 	"emx/internal/metrics"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/refalgo"
 	"emx/internal/sim"
@@ -64,6 +65,9 @@ type Params struct {
 	// Tracer, when non-nil, receives every thread lifecycle event
 	// (see core.TraceEvent); used by emxtrace for Figure 4/5 timelines.
 	Tracer func(core.TraceEvent)
+	// Obs, when non-nil, is attached to the machine for cycle-accounting
+	// profiles and structured traces (emxprof). Must be sized for cfg.P.
+	Obs *obs.Tracer
 	// SkipVerify disables the numeric check (only meaningful with
 	// AllStages).
 	SkipVerify bool
@@ -109,6 +113,9 @@ func Run(cfg core.Config, p Params) (*metrics.Run, error) {
 	}
 	if p.Tracer != nil {
 		mach.SetTracer(p.Tracer)
+	}
+	if p.Obs != nil {
+		mach.SetObs(p.Obs)
 	}
 
 	// Deterministic complex input in [-1,1)^2.

@@ -26,6 +26,7 @@ import (
 	"emx/internal/core"
 	"emx/internal/dist"
 	"emx/internal/metrics"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/sim"
 )
@@ -59,6 +60,9 @@ type Params struct {
 	SkipVerify bool
 	// Tracer, when non-nil, receives thread lifecycle events.
 	Tracer func(core.TraceEvent)
+	// Obs, when non-nil, is attached to the machine for cycle-accounting
+	// profiles and structured traces (emxprof). Must be sized for cfg.P.
+	Obs *obs.Tracer
 }
 
 func (p Params) withDefaults() Params {
@@ -144,6 +148,9 @@ func Run(cfg core.Config, p Params) (*metrics.Run, error) {
 	}
 	if p.Tracer != nil {
 		mach.SetTracer(p.Tracer)
+	}
+	if p.Obs != nil {
+		mach.SetObs(p.Obs)
 	}
 
 	rng := rand.New(rand.NewSource(p.Seed))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"emx/internal/harness"
@@ -27,9 +28,10 @@ type GatewayOptions struct {
 }
 
 // Gateway federates the membership's emxd nodes behind the same API
-// one node serves: /v1/run and /v1/figure are routed by content key to
-// the owning node (with failover), /v1/status reports the cluster view,
-// and /metrics exposes the routing counters. Because every node
+// one node serves: /v1/run, /v1/figure, and /v1/profile are routed by
+// content key to the owning node (with failover), /v1/status reports
+// the cluster view, and /metrics exposes the routing counters. Because
+// every node
 // computes byte-identical results for a given run identity, clients
 // cannot tell the gateway from a single overgrown emxd — except that it
 // survives node deaths.
@@ -80,6 +82,7 @@ func NewGateway(m *Membership, opts GatewayOptions) *Gateway {
 		func() float64 { return float64(len(m.Healthy())) })
 	g.mux.HandleFunc("/v1/run", g.handleRun)
 	g.mux.HandleFunc("/v1/figure", g.handleFigure)
+	g.mux.HandleFunc("/v1/profile", g.handleProfile)
 	g.mux.HandleFunc("/v1/status", g.handleStatus)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	return g
@@ -140,6 +143,14 @@ func (g *Gateway) route(w http.ResponseWriter, key, path string, body []byte) {
 	if ra := res.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
+	// Relay the node's own X-Emx-* annotations (run key, profile source)
+	// untouched; the gateway adds only its routing header below. Each
+	// header is set independently, so visit order cannot matter.
+	for name, vals := range res.Header { //emx:orderinvariant
+		if strings.HasPrefix(name, "X-Emx-") && len(vals) > 0 {
+			w.Header().Set(name, vals[0])
+		}
+	}
 	w.Header().Set(NodeHeader, res.Node)
 	w.WriteHeader(res.Status)
 	w.Write(res.Body)
@@ -178,6 +189,28 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.route(w, ps.Key(scale), "/v1/run", body)
+}
+
+// handleProfile routes a profiled point by the same RunIdentity hash
+// /v1/run uses, so a point's profile lands on the node whose caches
+// already hold (or will hold) that point — and repeat profile requests
+// hit that node's profile cache.
+func (g *Gateway) handleProfile(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.ProfileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ps, scale, err := service.ResolveRun(req.RunRequest, g.opts.Scale, g.opts.Seed)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g.route(w, ps.Key(scale), "/v1/profile", body)
 }
 
 // handleFigure routes a whole panel by its figure key: every run the

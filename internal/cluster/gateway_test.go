@@ -251,3 +251,56 @@ func TestGatewayValidationPassThrough(t *testing.T) {
 		t.Fatal("validation error lost its message through the gateway")
 	}
 }
+
+// TestGatewayRoutesProfile: /v1/profile goes through the gateway to the
+// point's owning node and comes back as a raw emxprof artifact with the
+// node and source headers attached.
+func TestGatewayRoutesProfile(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	body, err := json.Marshal(service.ProfileRequest{
+		RunRequest: service.RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10, Scale: hugeScale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(tc.front.URL+"/v1/profile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get(NodeHeader) == "" {
+		t.Error("missing cluster node header")
+	}
+	if got := resp.Header.Get(service.SourceHeader); got != "executed" {
+		t.Errorf("source %q, want executed", got)
+	}
+	var prof struct {
+		Version string `json:"version"`
+		P       int    `json:"p"`
+	}
+	if err := json.Unmarshal(raw, &prof); err != nil {
+		t.Fatalf("profile body not JSON: %v", err)
+	}
+	if prof.Version != "emxprof/v1" || prof.P != 4 {
+		t.Fatalf("bad profile header %+v", prof)
+	}
+
+	// Repeat request: routed to the same owner, served from its profile
+	// cache.
+	resp2, err := http.Post(tc.front.URL+"/v1/profile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	io.Copy(io.Discard, resp2.Body)
+	if got := resp2.Header.Get(service.SourceHeader); got != "cache" {
+		t.Errorf("repeat source %q, want cache", got)
+	}
+	if a, b := resp.Header.Get(NodeHeader), resp2.Header.Get(NodeHeader); a != b {
+		t.Errorf("repeat routed to %s, first to %s", b, a)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"emx/internal/memory"
 	"emx/internal/metrics"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/proc"
 	"emx/internal/sim"
@@ -132,6 +133,7 @@ func (h injectSaveDispatchH) OnEvent(arg sim.EventArg) {
 	x := h.x
 	x.p.Inject(arg.Ptr.(*packet.Packet))
 	x.st.Times.Switch += x.m.Cfg.SaveCycles
+	x.m.obs.Cycle(int64(x.m.Eng.Now()), int32(x.pe), obs.PhaseSwitch, int64(x.m.Cfg.SaveCycles))
 	x.m.Eng.AfterHandler(x.m.Cfg.SaveCycles, x.hDispatch, sim.EventArg{})
 }
 
@@ -170,18 +172,23 @@ func (x *exu) dispatch() {
 	now := x.m.Eng.Now()
 	if !x.busy {
 		x.st.Times.Comm += now - x.idleSince
+		x.m.obs.Cycle(int64(now), int32(x.pe), obs.PhaseIdle, int64(now-x.idleSince))
 		x.busy = true
 	}
 	x.st.Dispatches++
+	x.m.obs.MUDispatch(int64(now), int32(x.pe))
 	cost := x.m.Cfg.DispatchCycles
 	// Spilled packets are restored from the on-memory buffer by extra MCU
 	// traffic; charge it to the dispatch that consumed the restore.
+	var spill sim.Time
 	if restored := x.p.Queue.Restored; restored > x.restoredSeen {
-		cost += sim.Time(restored-x.restoredSeen) * x.p.Config().SpillCycles
+		spill = sim.Time(restored-x.restoredSeen) * x.p.Config().SpillCycles
 		x.restoredSeen = restored
 	}
-	x.st.Times.Switch += cost
-	x.m.Eng.AfterHandler(cost, x.hHandle, sim.EventArg{Ptr: pkt})
+	x.st.Times.Switch += cost + spill
+	x.m.obs.Cycle(int64(now), int32(x.pe), obs.PhaseSwitch, int64(cost))
+	x.m.obs.Cycle(int64(now), int32(x.pe), obs.PhaseSpill, int64(spill))
+	x.m.Eng.AfterHandler(cost+spill, x.hHandle, sim.EventArg{Ptr: pkt})
 }
 
 // handle interprets one dequeued packet.
@@ -205,6 +212,8 @@ func (x *exu) handle(pkt *packet.Packet) {
 		go t.main()
 		// Frame allocation and argument deposit.
 		x.st.Times.Switch += x.m.Cfg.SpawnCycles
+		x.m.obs.Cycle(int64(x.m.Eng.Now()), int32(x.pe), obs.PhaseSwitch, int64(x.m.Cfg.SpawnCycles))
+		x.m.obs.ThreadName(int32(x.pe), f.ID, info.name)
 		t.resumeVal = pkt.Data
 		x.m.Eng.AfterHandler(x.m.Cfg.SpawnCycles, x.hStart, sim.EventArg{Ptr: t})
 
@@ -244,6 +253,7 @@ func (x *exu) handle(pkt *packet.Packet) {
 	case packet.KindReadReq, packet.KindBlockReadReq, packet.KindWrite:
 		// ServiceEXU mode (EM-4): the request steals EXU cycles.
 		x.st.Times.Overhead += x.m.Cfg.EXUServiceCycles
+		x.m.obs.Cycle(int64(x.m.Eng.Now()), int32(x.pe), obs.PhaseService, int64(x.m.Cfg.EXUServiceCycles))
 		x.m.Eng.AfterHandler(x.m.Cfg.EXUServiceCycles, x.hService, sim.EventArg{Ptr: pkt})
 
 	default:
@@ -263,6 +273,7 @@ func (x *exu) threadOf(frame uint32) *thr {
 // the payload staged on t.
 func (x *exu) resumeThread(t *thr) {
 	x.st.Times.Switch += x.m.Cfg.RestoreCycles
+	x.m.obs.Cycle(int64(x.m.Eng.Now()), int32(x.pe), obs.PhaseSwitch, int64(x.m.Cfg.RestoreCycles))
 	x.m.Eng.AfterHandler(x.m.Cfg.RestoreCycles, x.hRun, sim.EventArg{Ptr: t})
 }
 
@@ -283,6 +294,9 @@ func (x *exu) execResume(t *thr) {
 //emx:hotpath
 func (x *exu) exec(t *thr, msg resumeMsg) {
 	t.final = x.m.step(t, msg)
+	if len(t.buf) > 0 {
+		x.m.obs.Flush(int64(x.m.Eng.Now()), int32(x.pe), int64(len(t.buf)))
+	}
 	t.bufIdx = 0
 	x.apply(t)
 }
@@ -305,10 +319,12 @@ func (x *exu) apply(t *thr) {
 				return
 			}
 			x.st.Times.Compute += op.cycles
+			x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseRun, int64(op.cycles))
 			eng.AfterHandler(op.cycles, x.hApply, sim.EventArg{Ptr: t})
 
 		case bufWrite:
 			x.st.Times.Overhead += cfg.PacketGenCycles
+			x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseService, int64(cfg.PacketGenCycles))
 			x.st.RemoteWrites++
 			t.pendingPkt = &packet.Packet{
 				Kind: packet.KindWrite,
@@ -321,6 +337,7 @@ func (x *exu) apply(t *thr) {
 		case bufLocalStore:
 			done := x.p.Mem.Write(eng.Now(), memory.PortEXU, op.off, op.data)
 			x.st.Times.Compute += done - eng.Now()
+			x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseRun, int64(done-eng.Now()))
 			eng.AtHandler(done, x.hApply, sim.EventArg{Ptr: t})
 		}
 		return
@@ -356,6 +373,7 @@ func (x *exu) finish(t *thr, op any) {
 
 	case opWriteSync:
 		x.st.Times.Overhead += cfg.PacketGenCycles
+		x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseService, int64(cfg.PacketGenCycles))
 		t.pendingPkt = &packet.Packet{
 			Kind: packet.KindSync,
 			Src:  x.pe,
@@ -366,6 +384,7 @@ func (x *exu) finish(t *thr, op any) {
 
 	case opSpawn:
 		x.st.Times.Overhead += cfg.PacketGenCycles
+		x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseService, int64(cfg.PacketGenCycles))
 		x.st.Invokes++
 		seq := x.m.registerSpawn(op.name, op.fn)
 		t.pendingPkt = &packet.Packet{
@@ -380,6 +399,9 @@ func (x *exu) finish(t *thr, op any) {
 	case opWait:
 		x.st.Switches[op.kind]++
 		x.st.Times.Switch += cfg.SpinCheckCycles + cfg.SaveCycles
+		// metrics.SwitchKind and obs.SwitchCause are numerically aligned.
+		x.m.obs.Switch(int64(eng.Now()), int32(x.pe), obs.SwitchCause(op.kind), t.frame)
+		x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseSwitch, int64(cfg.SpinCheckCycles+cfg.SaveCycles))
 		t.state = stBlocked
 		x.m.trace(TraceYield, t)
 		op.ws.waiters = append(op.ws.waiters, waiter{t: t, cond: op.cond})
@@ -388,6 +410,8 @@ func (x *exu) finish(t *thr, op any) {
 	case opYield:
 		x.st.Switches[op.kind]++
 		x.st.Times.Switch += cfg.SpinCheckCycles + cfg.SaveCycles
+		x.m.obs.Switch(int64(eng.Now()), int32(x.pe), obs.SwitchCause(op.kind), t.frame)
+		x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseSwitch, int64(cfg.SpinCheckCycles+cfg.SaveCycles))
 		t.state = stQueued
 		x.m.trace(TraceYield, t)
 		eng.AfterHandler(cfg.SpinCheckCycles+cfg.SaveCycles, x.hPushDispatch, sim.EventArg{Ptr: &packet.Packet{
@@ -399,6 +423,7 @@ func (x *exu) finish(t *thr, op any) {
 	case opLocalLoad:
 		v, done := x.p.Mem.Read(eng.Now(), memory.PortEXU, op.off)
 		x.st.Times.Compute += done - eng.Now()
+		x.m.obs.Cycle(int64(eng.Now()), int32(x.pe), obs.PhaseRun, int64(done-eng.Now()))
 		t.resumeVal = v
 		eng.AtHandler(done, x.hResume, sim.EventArg{Ptr: t})
 
@@ -430,6 +455,8 @@ func (x *exu) issueRead(t *thr, addr packet.GlobalAddr, n int) {
 	x.st.Times.Overhead += cfg.PacketGenCycles
 	x.st.RemoteReads += uint64(n)
 	x.st.Switches[metrics.SwitchRemoteRead]++
+	x.m.obs.Cycle(int64(x.m.Eng.Now()), int32(x.pe), obs.PhaseService, int64(cfg.PacketGenCycles))
+	x.m.obs.Switch(int64(x.m.Eng.Now()), int32(x.pe), obs.CauseRemoteRead, t.frame)
 	t.rw = &readWait{base: addr.Off, buf: make([]packet.Word, n), remaining: n}
 	t.state = stSuspendedRead
 	x.m.trace(TraceReadIssue, t)
@@ -454,6 +481,7 @@ func (x *exu) issueRead(t *thr, addr packet.GlobalAddr, n int) {
 func (x *exu) closeAccounting(end sim.Time) {
 	if !x.busy && x.idleSince <= end {
 		x.st.Times.Comm += end - x.idleSince
+		x.m.obs.Cycle(int64(x.idleSince), int32(x.pe), obs.PhaseIdle, int64(end-x.idleSince))
 		x.idleSince = end
 	}
 }

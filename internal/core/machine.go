@@ -7,6 +7,7 @@ import (
 	"emx/internal/memory"
 	"emx/internal/metrics"
 	"emx/internal/network"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/proc"
 	"emx/internal/sim"
@@ -34,6 +35,7 @@ type Machine struct {
 	spawns     map[uint64]spawnInfo
 	barriers   []*Barrier
 	tracer     func(TraceEvent)
+	obs        *obs.Tracer
 	live       int // threads created and not yet finished
 	allThreads []*thr
 	failure    error
@@ -84,6 +86,28 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 	}
 	return m, nil
+}
+
+// SetObs installs the cycle-accounting tracer across every component of
+// the machine: engine dispatch, EXU charge sites, packet units, and the
+// network. Must be called before Run. The tracer observes only — it
+// never charges cycles — so an observed run is cycle-identical to an
+// unobserved one. A nil tracer (the default) disables observation.
+func (m *Machine) SetObs(t *obs.Tracer) {
+	if m.ran {
+		panic("core: SetObs after Run")
+	}
+	if t != nil && t.P() != m.Cfg.P {
+		panic(fmt.Sprintf("core: tracer sized for P=%d on a P=%d machine", t.P(), m.Cfg.P))
+	}
+	m.obs = t
+	m.Eng.SetObs(t)
+	for _, p := range m.Procs {
+		p.SetObs(t)
+	}
+	if m.Net != nil {
+		m.Net.SetObs(t)
+	}
 }
 
 // deliverLocalH completes a 1-PE loopback send.
@@ -209,6 +233,7 @@ func (m *Machine) collect(end sim.Time) *metrics.Run {
 		m.exus[pe].closeAccounting(end)
 		r.PEs[pe] = m.stats[pe]
 	}
+	m.obs.Finish(int64(end))
 	if m.Net != nil {
 		r.PacketsSent = m.Net.Stats.Sent
 		r.PacketsHops = m.Net.Stats.Hops

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"emx/internal/metrics"
+	"emx/internal/obs"
+	"emx/internal/packet"
+	"emx/internal/sim"
+)
+
+// spawnObsWorkload seeds a mixed workload exercising every charge site:
+// remote reads, remote writes, barriers, explicit yields, local memory,
+// and child spawns.
+func spawnObsWorkload(m *Machine) {
+	p := m.Cfg.P
+	b := m.NewBarrier("iter", 2)
+	for pe := packet.PE(0); pe < packet.PE(p); pe++ {
+		pe := pe
+		for th := 0; th < 2; th++ {
+			th := th
+			m.SpawnAt(pe, "w", packet.Word(th), func(tc *TC) {
+				mate := (pe + packet.PE(p/2)) % packet.PE(p)
+				for it := 0; it < 3; it++ {
+					tc.Read(packet.GlobalAddr{PE: mate, Off: uint32(th*8 + it)})
+					tc.Compute(sim.Time(15 + it))
+					tc.Write(packet.GlobalAddr{PE: mate, Off: uint32(100 + it)}, 1)
+					tc.LocalStore(uint32(th*4+it), packet.Word(it))
+					tc.Yield(metrics.SwitchExplicit)
+					tc.Barrier(b)
+				}
+				if th == 0 && it0(pe) {
+					tc.Spawn(mate, "child", 9, func(tc2 *TC) { tc2.Compute(30) })
+				}
+			})
+		}
+	}
+}
+
+func it0(pe packet.PE) bool { return pe == 0 }
+
+// TestObservedRunMatchesMetrics pins the profile model to the existing
+// metrics: the obs phase decomposition must tie out exactly against the
+// Figure 8/9 accounting the simulator already produces.
+func TestObservedRunMatchesMetrics(t *testing.T) {
+	m := newTestMachine(t, 8)
+	tr := obs.New(obs.Options{P: 8})
+	m.SetObs(tr)
+	spawnObsWorkload(m)
+	r := mustRun(t, m)
+	p := tr.Profile()
+
+	if p.Makespan != int64(r.Makespan) {
+		t.Fatalf("profile makespan = %d, metrics %d", p.Makespan, r.Makespan)
+	}
+	if p.Dispatched != r.SimEvents {
+		t.Fatalf("profile engine events = %d, metrics %d", p.Dispatched, r.SimEvents)
+	}
+	for pe := range r.PEs {
+		st, pp := &r.PEs[pe], &p.PEs[pe]
+		if got, want := pp.Phases[obs.PhaseRun], int64(st.Times.Compute); got != want {
+			t.Errorf("PE%d run = %d, metrics compute %d", pe, got, want)
+		}
+		if got, want := pp.Phases[obs.PhaseSwitch]+pp.Phases[obs.PhaseSpill], int64(st.Times.Switch); got != want {
+			t.Errorf("PE%d switch+spill = %d, metrics switch %d", pe, got, want)
+		}
+		if got, want := pp.Phases[obs.PhaseService], int64(st.Times.Overhead); got != want {
+			t.Errorf("PE%d service = %d, metrics overhead %d", pe, got, want)
+		}
+		if got, want := pp.Phases[obs.PhaseIdle], int64(st.Times.Comm); got != want {
+			t.Errorf("PE%d idle = %d, metrics comm %d", pe, got, want)
+		}
+		if pp.Total() != int64(r.Makespan) {
+			t.Errorf("PE%d phases sum to %d, makespan %d", pe, pp.Total(), r.Makespan)
+		}
+		for k := range st.Switches {
+			if got, want := pp.Switches[k], st.Switches[k]; got != want {
+				t.Errorf("PE%d switches[%s] = %d, metrics %d",
+					pe, obs.SwitchCause(k), got, want)
+			}
+		}
+		if pp.Dispatches != st.Dispatches {
+			t.Errorf("PE%d dispatches = %d, metrics %d", pe, pp.Dispatches, st.Dispatches)
+		}
+		if pp.ServicedDMA != st.ServicedDMA || pp.ServicedEXU != st.ServicedEXU {
+			t.Errorf("PE%d serviced = %d/%d, metrics %d/%d",
+				pe, pp.ServicedDMA, pp.ServicedEXU, st.ServicedDMA, st.ServicedEXU)
+		}
+		if pp.Spills != st.Spills {
+			t.Errorf("PE%d spills = %d, metrics %d", pe, pp.Spills, st.Spills)
+		}
+	}
+}
+
+// TestObservationDoesNotPerturbTiming: attaching a tracer must not move
+// a single simulated cycle — observation only.
+func TestObservationDoesNotPerturbTiming(t *testing.T) {
+	run := func(observe bool) *metrics.Run {
+		m := newTestMachine(t, 8)
+		if observe {
+			m.SetObs(obs.New(obs.Options{P: 8, SliceCycles: 64}))
+		}
+		spawnObsWorkload(m)
+		return mustRun(t, m)
+	}
+	plain, observed := run(false), run(true)
+	if plain.Makespan != observed.Makespan || plain.SimEvents != observed.SimEvents {
+		t.Fatalf("observation changed the run: %d/%d events vs %d/%d",
+			plain.Makespan, plain.SimEvents, observed.Makespan, observed.SimEvents)
+	}
+	for pe := range plain.PEs {
+		if plain.PEs[pe].Times != observed.PEs[pe].Times {
+			t.Fatalf("PE%d accounting differs under observation", pe)
+		}
+	}
+}
+
+func TestObservedProfileDeterministic(t *testing.T) {
+	run := func() []byte {
+		m := newTestMachine(t, 8)
+		tr := obs.New(obs.Options{P: 8, SliceCycles: 128})
+		m.SetObs(tr)
+		spawnObsWorkload(m)
+		mustRun(t, m)
+		var buf mutableBuf
+		if err := tr.Profile().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatal("observed profile not byte-identical across identical runs")
+	}
+}
+
+type mutableBuf struct{ b []byte }
+
+func (m *mutableBuf) Write(p []byte) (int, error) {
+	m.b = append(m.b, p...)
+	return len(p), nil
+}
+
+func TestSetObsValidation(t *testing.T) {
+	m := newTestMachine(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mis-sized tracer accepted")
+		}
+	}()
+	m.SetObs(obs.New(obs.Options{P: 2}))
+}
+
+func TestThreadNamesRecorded(t *testing.T) {
+	m := newTestMachine(t, 2)
+	tr := obs.New(obs.Options{P: 2})
+	m.SetObs(tr)
+	m.SpawnAt(1, "alpha", 0, func(tc *TC) { tc.Compute(5) })
+	mustRun(t, m)
+	names := tr.Names()
+	if len(names) != 1 || names[0].Name != "alpha" || names[0].PE != 1 {
+		t.Fatalf("names = %+v", names)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/sim"
 )
@@ -52,6 +53,8 @@ type TraceEvent struct {
 func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
 
 func (m *Machine) trace(k TraceKind, t *thr) {
+	// TraceKind and obs.ThreadKind are numerically aligned by definition.
+	m.obs.Thread(int64(m.Eng.Now()), int32(t.pe), obs.ThreadKind(k), t.frame)
 	if m.tracer == nil {
 		return
 	}

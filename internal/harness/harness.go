@@ -21,6 +21,7 @@ import (
 	"emx/internal/core"
 	"emx/internal/labd"
 	"emx/internal/metrics"
+	"emx/internal/obs"
 	"emx/internal/proc"
 	"emx/internal/sim"
 	"emx/internal/thread"
@@ -152,13 +153,29 @@ func (ps PointSpec) Identity(scale int) core.RunIdentity {
 // Key returns the point's content hash — its cache key.
 func (ps PointSpec) Key(scale int) string { return ps.Identity(scale).Hash() }
 
+// Label formats the point's identity for humans — profile reports and
+// trace process names.
+func (ps PointSpec) Label() string {
+	n := ps.PaperN
+	if n == 0 {
+		n = ps.SimN
+	}
+	return fmt.Sprintf("%s P=%d n=%s h=%d %s", ps.Workload, ps.P, SizeLabel(n), ps.H, ps.Mode)
+}
+
 // RunPoint executes one simulation point. Besides the simulated
 // measurements it records the host wall-clock time the point took
 // (Run.HostElapsedSecs) — the numerator of the simulator's
 // cycles-per-second throughput, tracked in BENCH_*.json. Host timing is
 // observational only: it never feeds back into the simulation, so
 // results stay bit-identical across hosts.
-func RunPoint(ps PointSpec) (*metrics.Run, error) {
+func RunPoint(ps PointSpec) (*metrics.Run, error) { return runPoint(ps, nil) }
+
+// runPoint is RunPoint with an optional tracer attached to the machine.
+// The tracer only observes (it never charges cycles), so observed and
+// unobserved executions of the same point are cycle-identical; it is
+// also deliberately not part of the point's identity or cache key.
+func runPoint(ps PointSpec, tr *obs.Tracer) (*metrics.Run, error) {
 	cfg := ps.config()
 	start := time.Now() //emx:hostclock host throughput only, never simulated state
 	var (
@@ -169,19 +186,19 @@ func RunPoint(ps PointSpec) (*metrics.Run, error) {
 	case Bitonic:
 		run, err = bitonic.Run(cfg, bitonic.Params{
 			N: ps.SimN, H: ps.H, UseBlockRead: ps.BlockRead,
-			Seed: ps.Seed, SkipVerify: !ps.Verify,
+			Seed: ps.Seed, SkipVerify: !ps.Verify, Obs: tr,
 		})
 	case FFT:
 		// Verification needs the full transform (AllStages); measurement
 		// runs use only the first log2(P) iterations, as the paper does.
 		run, err = fft.Run(cfg, fft.Params{
 			N: ps.SimN, H: ps.H, Seed: ps.Seed,
-			AllStages: ps.Verify, SkipVerify: !ps.Verify,
+			AllStages: ps.Verify, SkipVerify: !ps.Verify, Obs: tr,
 		})
 	case SpMV:
 		run, err = spmv.Run(cfg, spmv.Params{
 			N: ps.SimN, H: ps.H, Iterations: 2,
-			Seed: ps.Seed, SkipVerify: !ps.Verify,
+			Seed: ps.Seed, SkipVerify: !ps.Verify, Obs: tr,
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown workload %d", ps.Workload)
@@ -207,6 +224,12 @@ type Sweep struct {
 	BlockRead  bool
 	ReplyHigh  bool
 	Seed       int64
+
+	// Observe, when non-nil, attaches a fresh tracer to every executed
+	// point and collects the resulting cycle-accounting profiles. Points
+	// served from an executor's cache are not re-executed and therefore
+	// contribute no profile — profiled sweeps should run with caching off.
+	Observe *ProfileCollector `json:"-"`
 }
 
 // SweepResult holds the grid of runs: Runs[sizeIdx][threadIdx].
@@ -306,6 +329,9 @@ func (s Sweep) RunOn(exec Executor) (*SweepResult, error) {
 				defer wg.Done()
 				ps := s.Point(si, hi)
 				run, _, err := exec.Do(ps.Key(s.Scale), func() (*metrics.Run, error) {
+					if s.Observe != nil {
+						return s.Observe.RunPointObserved(ps, s.Scale)
+					}
 					return RunPoint(ps)
 				})
 				mu.Lock()

@@ -56,6 +56,9 @@ type PanelOptions struct {
 	Seed int64
 	// Logf, when set, receives progress lines (sweep announcements).
 	Logf func(format string, args ...any)
+	// Observe, when non-nil, collects a cycle-accounting profile from
+	// every point the panel's sweeps execute (see Sweep.Observe).
+	Observe *ProfileCollector
 }
 
 // PanelRunner builds the paper's figure panels through an Executor,
@@ -103,6 +106,7 @@ func (pr *PanelRunner) sweep(w Workload, p int, mode proc.ServiceMode, block, re
 	res, err := Sweep{
 		Workload: w, P: p, Scale: pr.opts.Scale, Mode: mode,
 		BlockRead: block, ReplyHigh: replyHigh, Seed: pr.opts.Seed,
+		Observe: pr.opts.Observe,
 	}.RunOn(pr.exec)
 	if err != nil {
 		return nil, err

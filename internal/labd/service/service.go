@@ -7,6 +7,7 @@
 //
 //	POST /v1/run     execute (or fetch) one simulation point
 //	POST /v1/figure  build a whole figure panel (see harness.PanelNames)
+//	POST /v1/profile execute one point with the emxprof tracer attached
 //	GET  /v1/status  scheduler and cache state as JSON
 //	GET  /metrics    Prometheus text exposition
 package service
@@ -52,6 +53,9 @@ type Server struct {
 	latency   *metrics.Histogram
 	forwarded *metrics.Counter
 	responses func(code int) *metrics.Counter
+
+	prof     *profileCache
+	profiled func(source string) *metrics.Counter
 }
 
 // New builds a server and starts its scheduler.
@@ -77,8 +81,16 @@ func New(opts Options) *Server {
 		return reg.Labeled("emxd_http_responses_total",
 			"HTTP responses by status code", "code", strconv.Itoa(code))
 	}
+	s.prof = newProfileCache(32)
+	s.profiled = func(source string) *metrics.Counter {
+		return reg.Labeled("emxd_profiled_runs_total",
+			"profiled runs served, by how the profile was obtained", "source", source)
+	}
+	reg.Gauge("emxd_profile_cache_entries", "profiled points held in the profile cache",
+		func() float64 { return float64(s.prof.len()) })
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/figure", s.handleFigure)
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s

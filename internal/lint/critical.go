@@ -32,6 +32,7 @@ var (
 		"emx/internal/harness",
 		"emx/internal/metrics",
 		"emx/internal/trace",
+		"emx/internal/obs",
 		"emx/internal/dist",
 		"emx/internal/analytic",
 		"emx/internal/refalgo",
@@ -39,6 +40,7 @@ var (
 		"emx/internal/cluster",
 		"emx/cmd/emxbench",
 		"emx/cmd/emxcluster",
+		"emx/cmd/emxprof",
 	}
 	simCorePrefixes = []string{
 		"emx/internal/core",

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/sim"
 )
@@ -65,8 +66,16 @@ type Network struct {
 	hArrive  sim.Handler
 	hDeliver sim.Handler
 
+	// obs, when non-nil, records per-hop latency and port-contention
+	// stalls, attributed to the packet's destination PE.
+	obs *obs.Tracer
+
 	Stats Stats
 }
+
+// SetObs installs the observability tracer. A nil tracer (the default)
+// disables per-hop recording.
+func (n *Network) SetObs(t *obs.Tracer) { n.obs = t }
 
 // hopH forwards a packet one switch hop. EventArg packs the packet in
 // Ptr and (node, hopsLeft) in N.
@@ -168,6 +177,7 @@ func (n *Network) hop(p *packet.Packet, v, hopsLeft int) {
 	}
 	port.Acquire(start, PortCycles)
 	n.Stats.Hops++
+	n.obs.Hop(int64(now), int32(p.Dst()), obs.NetHop, int64(start-now))
 
 	headAt := start + HopCycles
 	if hopsLeft == 1 {
@@ -192,6 +202,7 @@ func (n *Network) arriveDst(p *packet.Packet) {
 		n.Stats.QueueDelay += start - now
 	}
 	port.Acquire(start, PortCycles)
+	n.obs.Hop(int64(now), int32(dst), obs.NetEject, int64(start-now))
 	n.eng.AtHandler(start+HopCycles, n.hDeliver, sim.EventArg{Ptr: p})
 }
 

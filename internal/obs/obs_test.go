@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", r.Cap())
+	}
+	for i := 1; i <= 3; i++ {
+		if _, dropped := r.Push(i); dropped {
+			t.Fatalf("Push(%d) dropped below capacity", i)
+		}
+	}
+	got := r.Snapshot()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 1; i <= 3; i++ {
+		r.Push(i)
+	}
+	old, dropped := r.Push(4)
+	if !dropped || old != 1 {
+		t.Fatalf("Push(4) = (%d, %v), want (1, true)", old, dropped)
+	}
+	old, dropped = r.Push(5)
+	if !dropped || old != 2 {
+		t.Fatalf("Push(5) = (%d, %v), want (2, true)", old, dropped)
+	}
+	got := r.Snapshot()
+	want := []int{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	if got := NewRing[Event](0).Cap(); got != DefaultCapacity {
+		t.Fatalf("NewRing(0).Cap() = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+// TestNilTracerNoAllocs pins the disabled-tracer contract: every record
+// method on a nil *Tracer is a no-op costing zero allocations.
+func TestNilTracerNoAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Cycle(10, 0, PhaseRun, 4)
+		tr.Switch(10, 0, CauseRemoteRead, 7)
+		tr.Thread(10, 0, ThreadStart, 7)
+		tr.Flush(10, 0, 3)
+		tr.Packet(10, 0, PktBypassDMA, 8)
+		tr.Hop(10, 0, NetHop, 0)
+		tr.MUDispatch(10, 0)
+		tr.Dispatch(10)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledTracerSteadyStateNoAllocs checks that recording into a
+// pre-sized ring allocates nothing once warm (slices are preallocated,
+// events are stored by value).
+func TestEnabledTracerSteadyStateNoAllocs(t *testing.T) {
+	tr := New(Options{P: 2, Capacity: 64})
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Cycle(10, 0, PhaseRun, 4)
+		tr.Switch(10, 1, CauseIterSync, 7)
+		tr.Packet(10, 0, PktSpill, 0)
+		tr.Dispatch(10)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled tracer allocated %.1f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestTracerAggregation(t *testing.T) {
+	tr := New(Options{P: 2, Capacity: 8})
+	tr.Cycle(0, 0, PhaseRun, 100)
+	tr.Cycle(50, 0, PhaseSwitch, 10)
+	tr.Cycle(60, 1, PhaseIdle, 40)
+	tr.Switch(50, 0, CauseRemoteRead, 3)
+	tr.Switch(55, 0, CauseIterSync, 3)
+	tr.Thread(0, 0, ThreadStart, 3)
+	tr.Thread(90, 0, ThreadEnd, 3)
+	tr.Flush(70, 1, 5)
+	tr.Packet(75, 1, PktBypassDMA, 8)
+	tr.Packet(76, 1, PktEXUService, 9)
+	tr.Packet(77, 1, PktSpill, 0)
+	tr.Hop(80, 1, NetHop, 2)
+	tr.MUDispatch(81, 0)
+	tr.Dispatch(82)
+	tr.Finish(100)
+
+	p := tr.Profile()
+	if p.Makespan != 100 || p.P != 2 || p.Points != 1 {
+		t.Fatalf("header = P=%d points=%d makespan=%d", p.P, p.Points, p.Makespan)
+	}
+	if got := p.PEs[0].Phases[PhaseRun]; got != 100 {
+		t.Errorf("PE0 run = %d, want 100", got)
+	}
+	if got := p.PEs[1].Phases[PhaseIdle]; got != 40 {
+		t.Errorf("PE1 idle = %d, want 40", got)
+	}
+	if p.PEs[0].Switches[CauseRemoteRead] != 1 || p.PEs[0].Switches[CauseIterSync] != 1 {
+		t.Errorf("PE0 switches = %v", p.PEs[0].Switches)
+	}
+	if p.PEs[0].Threads != 1 {
+		t.Errorf("PE0 threads = %d, want 1", p.PEs[0].Threads)
+	}
+	m := p.Machine()
+	if m.Flushes != 1 || m.FlushedOps != 5 || m.ServicedDMA != 1 || m.ServicedEXU != 1 ||
+		m.Spills != 1 || m.NetHops != 1 || m.NetStall != 2 || m.Dispatches != 1 {
+		t.Errorf("machine counters = %+v", m)
+	}
+	if p.Dispatched != 1 {
+		t.Errorf("Dispatched = %d, want 1", p.Dispatched)
+	}
+	if m.Total() != 150 {
+		t.Errorf("machine total = %d, want 150", m.Total())
+	}
+}
+
+func TestTracerDropCounting(t *testing.T) {
+	tr := New(Options{P: 1, Capacity: 2, Retain: MaskOf(CatSwitch)})
+	for i := 0; i < 5; i++ {
+		tr.Switch(int64(i), 0, CauseExplicit, 1)
+	}
+	tr.Cycle(9, 0, PhaseRun, 1) // CatCycle not retained: counted, not ringed
+	tr.Finish(10)
+	p := tr.Profile()
+	if p.Recorded != 6 {
+		t.Errorf("Recorded = %d, want 6", p.Recorded)
+	}
+	if p.Retained != 2 {
+		t.Errorf("Retained = %d, want 2", p.Retained)
+	}
+	if p.Dropped[CatSwitch] != 3 || p.TotalDropped() != 3 {
+		t.Errorf("Dropped = %v", p.Dropped)
+	}
+	// Aggregates stay exact despite the drops.
+	if p.PEs[0].Switches[CauseExplicit] != 5 {
+		t.Errorf("switches = %d, want 5", p.PEs[0].Switches[CauseExplicit])
+	}
+	if ev := tr.Events(); len(ev) != 2 || ev[0].At != 3 || ev[1].At != 4 {
+		t.Errorf("Events = %+v, want the two newest", ev)
+	}
+}
+
+func TestTracerSlices(t *testing.T) {
+	tr := New(Options{P: 1, SliceCycles: 100})
+	tr.Cycle(10, 0, PhaseRun, 5)
+	tr.Cycle(250, 0, PhaseIdle, 7)
+	tr.Finish(260)
+	p := tr.Profile()
+	if len(p.Slices) != 3 {
+		t.Fatalf("%d slices, want 3", len(p.Slices))
+	}
+	if p.Slices[0].Phases[PhaseRun] != 5 || p.Slices[2].Phases[PhaseIdle] != 7 {
+		t.Errorf("slice phases wrong: %+v", p.Slices)
+	}
+	if p.Slices[1].Phases != ([NumPhases]int64{}) {
+		t.Errorf("middle slice not empty: %+v", p.Slices[1])
+	}
+	if p.Slices[2].To != 260 {
+		t.Errorf("last slice To = %d, want clamped 260", p.Slices[2].To)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(Options{P: 2})
+	a.Cycle(0, 0, PhaseRun, 10)
+	a.Switch(1, 1, CauseThreadSync, 2)
+	a.Finish(50)
+	b := New(Options{P: 2})
+	b.Cycle(0, 0, PhaseRun, 30)
+	b.Switch(1, 1, CauseThreadSync, 2)
+	b.Finish(70)
+
+	ab, err := Merge([]*Profile{a.Profile(), b.Profile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Merge([]*Profile{b.Profile(), a.Profile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufAB, bufBA bytes.Buffer
+	if err := ab.WriteJSON(&bufAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WriteJSON(&bufBA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufAB.Bytes(), bufBA.Bytes()) {
+		t.Error("Merge is not commutative at the byte level")
+	}
+	if ab.Makespan != 120 || ab.Points != 2 {
+		t.Errorf("merged makespan=%d points=%d, want 120, 2", ab.Makespan, ab.Points)
+	}
+	if ab.PEs[0].Phases[PhaseRun] != 40 || ab.PEs[1].Switches[CauseThreadSync] != 2 {
+		t.Errorf("merged PEs = %+v", ab.PEs)
+	}
+
+	if _, err := Merge([]*Profile{a.Profile(), New(Options{P: 3}).Profile()}); err == nil {
+		t.Error("Merge accepted mismatched machine sizes")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("Merge accepted an empty input")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	tr := New(Options{P: 1, SliceCycles: 50})
+	tr.Cycle(5, 0, PhaseService, 12)
+	tr.Finish(40)
+	var buf bytes.Buffer
+	if err := tr.Profile().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PEs[0].Phases[PhaseService] != 12 || p.Makespan != 40 {
+		t.Errorf("round trip lost data: %+v", p)
+	}
+
+	if _, err := LoadProfile(strings.NewReader(`{"version":"emxprof/v0","p":1,"pes":[{}]}`)); err == nil {
+		t.Error("LoadProfile accepted a wrong version")
+	}
+	if _, err := LoadProfile(strings.NewReader(`{"version":"emxprof/v1","p":2,"pes":[{}]}`)); err == nil {
+		t.Error("LoadProfile accepted a malformed shape")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	tr := New(Options{P: 2})
+	tr.Cycle(0, 0, PhaseRun, 300)
+	tr.Cycle(0, 1, PhaseIdle, 700)
+	tr.Switch(1, 0, CauseRemoteRead, 1)
+	tr.Finish(500)
+	rep := tr.Profile().Report()
+
+	for _, want := range []string{
+		"events: recorded=3 retained=1 dropped=0\n",
+		"machine: P=2  points=1  simulated=500 cycles",
+		"remote-read",
+		"per-PE cycles and switches:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// "top" ordering: idle (700) must appear before run (300).
+	if idle, run := strings.Index(rep, "idle"), strings.Index(rep, "\n  run "); idle == -1 || run == -1 || idle > run {
+		t.Errorf("phase rows not sorted by cycles desc:\n%s", rep)
+	}
+	if rep != tr.Profile().Report() {
+		t.Error("report not reproducible")
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	a := New(Options{P: 1})
+	a.Cycle(0, 0, PhaseRun, 100)
+	a.Finish(100)
+	b := New(Options{P: 1})
+	b.Cycle(0, 0, PhaseRun, 150)
+	b.Finish(150)
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, a.Profile(), b.Profile()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+50.0%", "makespan", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceWriterValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Meta(1, 0, "process_name", `PE "0"`)
+	tw.Slice(1, 7, "run", 10, 25)
+	tw.Instant(1, 7, "switch:remote-read", 35)
+	tw.Counter(1, "phases", 0, []string{"run", "idle"}, []int64{25, 5})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(doc.TraceEvents))
+	}
+	if ph := doc.TraceEvents[1]["ph"]; ph != "X" {
+		t.Errorf("slice ph = %v, want X", ph)
+	}
+}
+
+func TestAppendTraceReconstructsRuns(t *testing.T) {
+	tr := New(Options{P: 1, SliceCycles: 100})
+	tr.ThreadName(0, 7, "worker")
+	tr.Thread(0, 0, ThreadStart, 7)
+	tr.Cycle(0, 0, PhaseRun, 20)
+	tr.Thread(20, 0, ThreadRead, 7)
+	tr.Switch(20, 0, CauseRemoteRead, 7)
+	tr.Thread(60, 0, ThreadRun, 7)
+	tr.Thread(80, 0, ThreadEnd, 7)
+	tr.Finish(90)
+
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	AppendTrace(tw, 10, "fig4", tr.Profile(), tr.Events(), tr.Names())
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Pid  int64  `json:"pid"`
+			Tid  int64  `json:"tid"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	type span struct{ ts, dur int64 }
+	var runs []span
+	named := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "run" && ev.Tid == 7 {
+			runs = append(runs, span{ev.Ts, ev.Dur})
+			if ev.Pid != 10 {
+				t.Errorf("run pid = %d, want pidBase 10", ev.Pid)
+			}
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Tid == 7 {
+			named = true
+		}
+	}
+	want := []span{{0, 20}, {60, 20}}
+	if len(runs) != len(want) || runs[0] != want[0] || runs[1] != want[1] {
+		t.Errorf("run intervals = %v, want %v", runs, want)
+	}
+	if !named {
+		t.Error("thread_name metadata missing for frame 7")
+	}
+
+	// Byte determinism of the full pipeline.
+	var buf2 bytes.Buffer
+	tw2 := NewTraceWriter(&buf2)
+	AppendTrace(tw2, 10, "fig4", tr.Profile(), tr.Events(), tr.Names())
+	if err := tw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("AppendTrace output not byte-stable")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"emx/internal/memory"
 	"emx/internal/metrics"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/sim"
 	"emx/internal/thread"
@@ -95,7 +96,14 @@ type Proc struct {
 
 	// Stats points at the PE's metrics record (owned by the machine).
 	Stats *metrics.PE
+
+	// obs, when non-nil, records packet-service and spill events.
+	obs *obs.Tracer
 }
+
+// SetObs installs the observability tracer. A nil tracer (the default)
+// disables packet-event recording.
+func (p *Proc) SetObs(t *obs.Tracer) { p.obs = t }
 
 // sendH passes a packet leaving the OBU to the network.
 type sendH struct{ p *Proc }
@@ -156,6 +164,7 @@ func (p *Proc) Inject(pkt *packet.Packet) {
 func (p *Proc) PushLocal(prio thread.Prio, pkt *packet.Packet) {
 	if p.Queue.Push(prio, pkt) {
 		p.Stats.Spills++
+		p.obs.Packet(int64(p.eng.Now()), int32(p.pe), obs.PktSpill, int64(p.cfg.SpillCycles))
 	}
 	if p.wake != nil {
 		p.wake()
@@ -191,6 +200,7 @@ func (p *Proc) serviceBypass(pkt *packet.Packet) {
 	now := p.eng.Now()
 	grant := p.ibu.Acquire(now, p.cfg.IBUServiceCycles)
 	p.Stats.ServicedDMA++
+	p.obs.Packet(int64(now), int32(p.pe), obs.PktBypassDMA, int64(grant-now))
 	p.eng.AtHandler(grant, p.hDMA, sim.EventArg{Ptr: pkt})
 }
 
@@ -233,6 +243,7 @@ func (p *Proc) serviceDMA(pkt *packet.Packet) {
 // ServiceEXU mode; the core EXU calls it after charging the stolen cycles.
 func (p *Proc) ServiceOnEXU(pkt *packet.Packet) {
 	p.Stats.ServicedEXU++
+	p.obs.Packet(int64(p.eng.Now()), int32(p.pe), obs.PktEXUService, 0)
 	switch pkt.Kind {
 	case packet.KindWrite:
 		p.Mem.Write(p.eng.Now(), memory.PortEXU, pkt.Addr.Off, pkt.Data)

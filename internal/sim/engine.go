@@ -24,6 +24,8 @@
 // both lanes share one ordering domain.
 package sim
 
+import "emx/internal/obs"
+
 // Time is a simulated time stamp measured in processor clock cycles.
 type Time int64
 
@@ -115,7 +117,15 @@ type Engine struct {
 
 	stopped bool
 	nEvents uint64
+
+	// obs, when non-nil, observes every dispatched event. The nil default
+	// costs one branch per dispatch inside the nil-safe tracer method.
+	obs *obs.Tracer
 }
+
+// SetObs installs an observability tracer notified of every event
+// dispatch. A nil tracer (the default) disables observation.
+func (e *Engine) SetObs(t *obs.Tracer) { e.obs = t }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -189,6 +199,7 @@ func (e *Engine) Run() Time {
 		ev := e.pop()
 		e.now = ev.at
 		e.nEvents++
+		e.obs.Dispatch(int64(ev.at))
 		ev.h.OnEvent(ev.arg)
 	}
 	return e.now
@@ -207,6 +218,7 @@ func (e *Engine) RunUntil(deadline Time) bool {
 		ev := e.pop()
 		e.now = ev.at
 		e.nEvents++
+		e.obs.Dispatch(int64(ev.at))
 		ev.h.OnEvent(ev.arg)
 	}
 	return e.Pending() > 0
@@ -220,6 +232,7 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.nEvents++
+	e.obs.Dispatch(int64(ev.at))
 	ev.h.OnEvent(ev.arg)
 	return true
 }

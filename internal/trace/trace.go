@@ -10,18 +10,49 @@ import (
 	"strings"
 
 	"emx/internal/core"
+	"emx/internal/obs"
 	"emx/internal/packet"
 	"emx/internal/sim"
 )
 
-// Recorder accumulates trace events. Install with machine.SetTracer
-// (Recorder.Record) before Run.
+// Recorder accumulates trace events in a bounded ring. Install with
+// machine.SetTracer (Recorder.Record) before Run. The zero value is
+// ready to use with the default capacity; when a run produces more
+// events than fit, the oldest are overwritten and counted in Dropped —
+// memory stays bounded no matter how long the simulation runs.
 type Recorder struct {
-	Events []core.TraceEvent
+	ring    *obs.Ring[core.TraceEvent]
+	dropped uint64
+}
+
+// NewRecorder builds a recorder holding at most capacity events
+// (capacity <= 0 selects the default, obs.DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{ring: obs.NewRing[core.TraceEvent](capacity)}
 }
 
 // Record appends one event (the core.Machine tracer callback).
-func (r *Recorder) Record(ev core.TraceEvent) { r.Events = append(r.Events, ev) }
+func (r *Recorder) Record(ev core.TraceEvent) {
+	if r.ring == nil {
+		r.ring = obs.NewRing[core.TraceEvent](0)
+	}
+	if _, evicted := r.ring.Push(ev); evicted {
+		r.dropped++
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []core.TraceEvent {
+	if r.ring == nil {
+		return nil
+	}
+	return r.ring.Snapshot()
+}
+
+// Dropped reports how many events were overwritten because the ring
+// filled. A timeline rendered from a recorder with drops is missing its
+// earliest bands.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
 
 // threadKey identifies a thread band.
 type threadKey struct {
@@ -60,7 +91,7 @@ func (r *Recorder) Timelines() []Timeline {
 	byThread := map[threadKey]*Timeline{}
 	var order []threadKey
 	openAt := map[threadKey]sim.Time{} // start of current running interval
-	for _, ev := range r.Events {
+	for _, ev := range r.Events() {
 		k := threadKey{ev.PE, ev.Frame}
 		tl, ok := byThread[k]
 		if !ok {
@@ -167,7 +198,7 @@ func label(tl Timeline) string {
 func (r *Recorder) Summary() string {
 	counts := map[packet.PE]map[core.TraceKind]int{}
 	var pes []packet.PE
-	for _, ev := range r.Events {
+	for _, ev := range r.Events() {
 		if counts[ev.PE] == nil {
 			counts[ev.PE] = map[core.TraceKind]int{}
 			pes = append(pes, ev.PE)

@@ -6,6 +6,7 @@ import (
 
 	"emx/internal/core"
 	"emx/internal/packet"
+	"emx/internal/sim"
 )
 
 // runTraced reproduces the paper's Figure 4 setup: two PEs, two threads
@@ -43,7 +44,7 @@ func runTraced(t *testing.T) *Recorder {
 func TestRecorderCapturesLifecycle(t *testing.T) {
 	rec := runTraced(t)
 	var starts, ends, reads, runs int
-	for _, ev := range rec.Events {
+	for _, ev := range rec.Events() {
 		switch ev.Kind {
 		case core.TraceStart:
 			starts++
@@ -65,10 +66,33 @@ func TestRecorderCapturesLifecycle(t *testing.T) {
 		t.Fatalf("resumes = %d, want %d (one per read)", runs, reads)
 	}
 	// Events must be time-ordered.
-	for i := 1; i < len(rec.Events); i++ {
-		if rec.Events[i].At < rec.Events[i-1].At {
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
 			t.Fatal("events out of order")
 		}
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped %d events with default capacity", rec.Dropped())
+	}
+}
+
+// TestRecorderBounded: a tiny ring keeps the newest events and counts
+// what it overwrote, so memory stays constant on arbitrarily long runs.
+func TestRecorderBounded(t *testing.T) {
+	rec := NewRecorder(8)
+	for i := 0; i < 100; i++ {
+		rec.Record(core.TraceEvent{At: sim.Time(1000 + i)})
+	}
+	evs := rec.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	if rec.Dropped() != 92 {
+		t.Fatalf("dropped = %d, want 92", rec.Dropped())
+	}
+	if evs[0].At != 1092 || evs[7].At != 1099 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", evs[0].At, evs[7].At)
 	}
 }
 
