@@ -45,6 +45,7 @@ func main() {
 		cache   = flag.Int("cache", 512, "LRU result cache bound in entries")
 		scale   = flag.Int("scale", harness.DefaultScale, "default scale-down factor for requests that omit one")
 		seed    = flag.Int64("seed", 1, "default input generator seed")
+		shards  = flag.Int("shards", 0, "default engine shards per simulation (0 = auto, 1 = single engine)")
 	)
 	flag.Parse()
 	if *queue < 1 || *cache < 1 || *scale < 1 {
@@ -55,11 +56,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emxd: -workers must be >= 0")
 		os.Exit(2)
 	}
+	if *shards < 0 || (*shards > 1 && *shards&(*shards-1) != 0) {
+		fmt.Fprintln(os.Stderr, "emxd: -shards must be 0, 1, or a power of two")
+		os.Exit(2)
+	}
 
 	srv := service.New(service.Options{
-		Scale: *scale,
-		Seed:  *seed,
-		Sched: labd.Options{Workers: *workers, QueueSize: *queue, CacheSize: *cache},
+		Scale:  *scale,
+		Seed:   *seed,
+		Shards: *shards,
+		Sched:  labd.Options{Workers: *workers, QueueSize: *queue, CacheSize: *cache},
 	})
 	defer srv.Close()
 

@@ -1,0 +1,60 @@
+package bitonic
+
+import (
+	"reflect"
+	"testing"
+
+	"emx/internal/core"
+	"emx/internal/metrics"
+)
+
+// TestShardedRunMatchesSingleEngine is the end-to-end oracle for
+// conservative PE sharding: the full machine (procs, EXUs, network,
+// barriers, wait sets) run under every shard count must produce a
+// metrics.Run identical field-for-field to the single-engine run —
+// makespan, per-PE cycle breakdowns, switch counts, packet and event
+// totals. Run under -race in CI.
+func TestShardedRunMatchesSingleEngine(t *testing.T) {
+	const P = 8
+	run := func(shards int) *metrics.Run {
+		t.Helper()
+		cfg := core.DefaultConfig(P)
+		cfg.MemWords = 1 << 14
+		cfg.Shards = shards
+		r, err := Run(cfg, Params{N: 1 << 11, H: 4, Seed: 3})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return r
+	}
+	want := run(1)
+	if want.SimEvents < 10000 {
+		t.Fatalf("workload too small to exercise sharding: %d events", want.SimEvents)
+	}
+	for _, s := range []int{2, 4, 8} {
+		got := run(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: run diverged from single engine\ngot  %+v\nwant %+v", s, got, want)
+		}
+	}
+}
+
+// TestShardedConfigValidation pins the sharding preconditions: shard
+// counts must be powers of two no larger than P, and P itself must be a
+// power of two so every switch node is a real PE's Switching Unit.
+func TestShardedConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		p, shards int
+		ok        bool
+	}{
+		{8, 0, true}, {8, 1, true}, {8, 2, true}, {8, 8, true},
+		{8, 3, false}, {8, 16, false}, {6, 2, false}, {6, 1, true},
+	} {
+		cfg := core.DefaultConfig(tc.p)
+		cfg.Shards = tc.shards
+		err := cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("P=%d Shards=%d: Validate() = %v, want ok=%v", tc.p, tc.shards, err, tc.ok)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "emx/internal/metrics"
+import (
+	"emx/internal/metrics"
+	"emx/internal/packet"
+)
 
 // WaitSet holds threads blocked on conditions over shared state — the
 // runtime's synchronization primitive beneath barriers and the sorting
@@ -16,6 +19,7 @@ import "emx/internal/metrics"
 // satisfied threads through the normal FIFO.
 type WaitSet struct {
 	m       *Machine
+	sh      *shardState
 	waiters []waiter
 }
 
@@ -24,8 +28,22 @@ type waiter struct {
 	cond func() bool
 }
 
-// NewWaitSet creates a wait set bound to the machine.
-func (m *Machine) NewWaitSet() *WaitSet { return &WaitSet{m: m} }
+// NewWaitSet creates a wait set bound to the machine. On a sharded
+// machine a wait set must be bound to its owning PE's shard (Notify
+// flushes the shard's running coroutine) — use NewWaitSetOn.
+func (m *Machine) NewWaitSet() *WaitSet {
+	if m.grp != nil {
+		panic("core: NewWaitSet on a sharded machine — use NewWaitSetOn(pe)")
+	}
+	return &WaitSet{m: m, sh: m.shards[0]}
+}
+
+// NewWaitSetOn creates a wait set owned by pe's shard. The state watched
+// by its conditions, every Notify call site, and every waiting thread
+// must live on that same PE (the usual per-PE discipline).
+func (m *Machine) NewWaitSetOn(pe packet.PE) *WaitSet {
+	return &WaitSet{m: m, sh: m.shards[m.peShard[pe]]}
+}
 
 // Notify re-checks all waiters and wakes those whose condition now holds
 // by pushing their continuation into the owning PE's packet queue (FIFO,
@@ -35,7 +53,7 @@ func (m *Machine) NewWaitSet() *WaitSet { return &WaitSet{m: m} }
 // thread's buffered operations are applied first, so the wake-ups happen
 // at the simulated time they would have without buffering.
 func (ws *WaitSet) Notify() {
-	if cur := ws.m.cur; cur != nil && len(cur.buf) > 0 {
+	if cur := ws.sh.cur; cur != nil && len(cur.buf) > 0 {
 		cur.yieldOp(opFlush{})
 	}
 	kept := ws.waiters[:0]

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+
+	"emx/internal/labd"
+)
+
+// TestShardedPanelHashesMatchGoldens is the cross-shard packet-ordering
+// stress test promised by the sharding design: the full Figure 6a panel
+// (bitonic, P=16, the seed-pinned golden) rendered with the engine
+// forcibly split into shards ∈ {2, 4, P} must hash byte-for-byte to the
+// same golden the single-engine run is pinned against. Every grid point
+// exercises cross-shard traffic (bitonic exchanges span the whole cube),
+// so any drift in exchange ordering, hop accounting, or barrier timing
+// surfaces as a hash mismatch. Run under -race in CI.
+//
+// Each shard count gets a fresh scheduler: Shards is deliberately
+// excluded from point identity, so a shared scheduler would serve the
+// first run's cached results back and prove nothing.
+func TestShardedPanelHashesMatchGoldens(t *testing.T) {
+	gold := goldenPanelHashes["6a"][0]
+	for _, shards := range []int{1, 2, 4, 16} {
+		sched := labd.New(labd.Options{})
+		pr := NewPanelRunner(PanelOptions{Scale: 65536, Seed: 1, Shards: shards}, sched)
+		figs, err := pr.Panel("6a")
+		sched.Close()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(figs) != 1 || figs[0].ID != gold.id {
+			t.Fatalf("shards=%d: unexpected panel shape", shards)
+		}
+		blob := fmt.Sprintf("# %s [%s]\n%s\n", figs[0].Title, figs[0].ID, figs[0].CSV())
+		sum := sha256.Sum256([]byte(blob))
+		if got := hex.EncodeToString(sum[:]); got != gold.sha {
+			t.Errorf("shards=%d: hash %s, want golden %s\nsharded run drifted from the seed:\n%s",
+				shards, got, gold.sha, blob)
+		}
+	}
+}
+
+// TestShardedSweepFiguresByteIdentical covers the Figure 7 path (speedup
+// ratios over the same grid) at P=4 with shards ∈ {1, 2, P}: the rendered
+// CSV must be byte-identical across shard counts.
+func TestShardedSweepFiguresByteIdentical(t *testing.T) {
+	render := func(shards int) (string, string) {
+		t.Helper()
+		s := smallSweep(Bitonic)
+		s.Shards = shards
+		res, err := s.Run(2)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		f6 := Fig6(res)
+		f7, err := Fig7(res)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return f6.CSV(), f7.CSV()
+	}
+	csv6, csv7 := render(1)
+	if csv6 == "" || csv7 == "" {
+		t.Fatal("empty CSV")
+	}
+	for _, shards := range []int{2, 4} {
+		g6, g7 := render(shards)
+		if g6 != csv6 {
+			t.Errorf("Fig6 CSV differs at shards=%d:\n%s\nvs\n%s", shards, g6, csv6)
+		}
+		if g7 != csv7 {
+			t.Errorf("Fig7 CSV differs at shards=%d:\n%s\nvs\n%s", shards, g7, csv7)
+		}
+	}
+}
+
+// TestShardedSweepRejectsBadShardCounts: invalid shard counts surface as
+// validation errors from the sweep, not silent fallbacks.
+func TestShardedSweepRejectsBadShardCounts(t *testing.T) {
+	for _, tc := range []struct {
+		shards int
+		want   string
+	}{
+		{3, "power of two"},
+		{8, "exceeds P"}, // smallSweep runs P=4
+	} {
+		s := smallSweep(Bitonic)
+		s.Shards = tc.shards
+		_, err := s.Run(1)
+		if err == nil {
+			t.Errorf("shards=%d: sweep succeeded, want validation error", tc.shards)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("shards=%d: error %q does not mention %q", tc.shards, err, tc.want)
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Options struct {
 	Scale int
 	// Seed is the default input generator seed.
 	Seed int64
+	// Shards is the default engine-shard count for requests that omit
+	// one (0: auto-select per point, 1: single engine). Host-side only;
+	// it never enters a run's cache identity.
+	Shards int
 	// Sched configures the underlying scheduler (workers, queue, cache).
 	Sched labd.Options
 }
@@ -147,6 +151,7 @@ type RunRequest struct {
 	BlockRead bool   `json:"block_read,omitempty"` // bitonic block-read ablation
 	ReplyHigh bool   `json:"reply_high,omitempty"` // resume-first reply scheduling
 	Verify    bool   `json:"verify,omitempty"`     // run the workload self-check
+	Shards    int    `json:"shards,omitempty"`     // engine shards (0: server default)
 }
 
 // RunResponse reports one point's measurements and how they were
@@ -171,9 +176,10 @@ type RunResponse struct {
 
 // FigureRequest is the body of POST /v1/figure.
 type FigureRequest struct {
-	Fig   string `json:"fig"`             // panel name, see harness.PanelNames
-	Scale int    `json:"scale,omitempty"` // 0: server default
-	Seed  int64  `json:"seed,omitempty"`  // 0: server default
+	Fig    string `json:"fig"`              // panel name, see harness.PanelNames
+	Scale  int    `json:"scale,omitempty"`  // 0: server default
+	Seed   int64  `json:"seed,omitempty"`   // 0: server default
+	Shards int    `json:"shards,omitempty"` // engine shards (0: server default)
 }
 
 // FigureResponse carries the panel's figures.
@@ -194,6 +200,7 @@ type StatusResponse struct {
 	CacheCap      int                `json:"cache_cap"`
 	DefaultScale  int                `json:"default_scale"`
 	DefaultSeed   int64              `json:"default_seed"`
+	DefaultShards int                `json:"default_shards"`
 	Panels        []string           `json:"panels"`
 	Throughput    Throughput         `json:"throughput"`
 	Counters      map[string]float64 `json:"counters"`
@@ -320,9 +327,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// pointSpec validates a run request and resolves it to a PointSpec.
+// pointSpec validates a run request and resolves it to a PointSpec,
+// filling the server's default shard count when the request omits one.
 func (s *Server) pointSpec(req RunRequest) (harness.PointSpec, int, error) {
-	return ResolveRun(req, s.opts.Scale, s.opts.Seed)
+	ps, scale, err := ResolveRun(req, s.opts.Scale, s.opts.Seed)
+	if err == nil && ps.Shards == 0 {
+		ps.Shards = s.opts.Shards
+	}
+	return ps, scale, err
 }
 
 // ResolveRun validates a run request against default scale/seed and
@@ -359,6 +371,9 @@ func ResolveRun(req RunRequest, defaultScale int, defaultSeed int64) (harness.Po
 	if err != nil {
 		return harness.PointSpec{}, 0, err
 	}
+	if err := validShards(req.Shards); err != nil {
+		return harness.PointSpec{}, 0, err
+	}
 	sw := harness.Sweep{P: req.P, Scale: scale, Threads: []int{req.H}}
 	return harness.PointSpec{
 		Workload:  w,
@@ -371,7 +386,21 @@ func ResolveRun(req RunRequest, defaultScale int, defaultSeed int64) (harness.Po
 		ReplyHigh: req.ReplyHigh,
 		Seed:      seed,
 		Verify:    req.Verify,
+		Shards:    req.Shards,
 	}, scale, nil
+}
+
+// validShards rejects shard counts the core machine would refuse, with
+// the request-level vocabulary (the P-dependent checks stay with
+// core.Config.Validate).
+func validShards(shards int) error {
+	if shards < 0 {
+		return fmt.Errorf("shards must be >= 0, got %d", shards)
+	}
+	if shards > 1 && shards&(shards-1) != 0 {
+		return fmt.Errorf("shards must be a power of two, got %d", shards)
+	}
+	return nil
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -401,7 +430,15 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = s.opts.Seed
 	}
-	pr := harness.NewPanelRunner(harness.PanelOptions{Scale: scale, Seed: seed}, s.sched)
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.opts.Shards
+	}
+	if err := validShards(shards); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	pr := harness.NewPanelRunner(harness.PanelOptions{Scale: scale, Seed: seed, Shards: shards}, s.sched)
 	figs, err := pr.Panel(name)
 	if err != nil {
 		s.writeError(w, err)
@@ -424,6 +461,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		CacheCap:      st.CacheCap,
 		DefaultScale:  s.opts.Scale,
 		DefaultSeed:   s.opts.Seed,
+		DefaultShards: s.opts.Shards,
 		Panels:        harness.PanelNames(),
 		Throughput: Throughput{
 			SimCycles:       st.SimCycles,

@@ -96,6 +96,8 @@ func TestRunEndpointValidation(t *testing.T) {
 		{Workload: "fft", P: 4, H: 1, N: 0},
 		{Workload: "fft", P: 4, H: 1, N: 1024, Mode: "warp"},
 		{Workload: "fft", P: 4, H: 1, N: 1024, Scale: -1},
+		{Workload: "fft", P: 4, H: 1, N: 1024, Shards: 3},
+		{Workload: "fft", P: 4, H: 1, N: 1024, Shards: -2},
 	}
 	for i, req := range bad {
 		resp := postJSON(t, ts.URL+"/v1/run", req)
@@ -113,6 +115,26 @@ func TestRunEndpointValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/run: status %d", resp.StatusCode)
+	}
+}
+
+// TestRunEndpointShardsShareIdentity: a sharded request reports the same
+// key and measurements as the single-engine run — sharding is host-side
+// only, so the second request is a straight cache hit.
+func TestRunEndpointShardsShareIdentity(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10}
+	first := decode[RunResponse](t, postJSON(t, ts.URL+"/v1/run", req))
+	if first.Source != "executed" {
+		t.Fatalf("first request source %q, want executed", first.Source)
+	}
+	req.Shards = 4
+	second := decode[RunResponse](t, postJSON(t, ts.URL+"/v1/run", req))
+	if second.Key != first.Key {
+		t.Fatalf("shards entered the run identity: %q vs %q", second.Key, first.Key)
+	}
+	if second.Source != "cached" || second.MakespanCycles != first.MakespanCycles {
+		t.Fatalf("sharded request not served from the shared cache entry: %+v", second)
 	}
 }
 

@@ -1,0 +1,409 @@
+// Shard groups: conservative parallel execution of one simulation.
+//
+// A Group partitions a machine's components across S member Engines,
+// one per host goroutine, and advances them in lockstep rounds that
+// reproduce the single-engine dispatch order exactly.
+//
+// # Why rounds, not windows
+//
+// Virtual cut-through delivers a remote packet in at least
+// RouteHops+1 cycles, which suggests a classic conservative window of
+// W = minHops·HopCycles cycles. That window is safe for *delivery*,
+// but the EM-X fabric couples shards tighter than delivery latency:
+// interior switch output ports are shared by packets from every
+// source PE, and a port acquisition at cycle t changes the stall of a
+// competing acquisition at cycle t+1. Measured on the paper's own
+// configurations the interior ports carry most of the queueing delay
+// (≈80% on the P=64 bitonic point), so any window wider than one
+// cycle reorders same-port acquisitions and changes the golden
+// hashes. The group therefore synchronizes at event-time granularity
+// and recovers the lost parallelism by running every same-cycle event
+// generation concurrently; see DESIGN.md §11 for the full argument.
+//
+// # Determinism by sequence replay
+//
+// The single engine dispatches in strict (time, seq) order, with seq
+// assigned by a global counter at scheduling time. The group replays
+// exactly those sequence numbers without a serial scheduler:
+//
+//   - Ownership: every piece of simulated state belongs to exactly one
+//     shard, and an event scheduled on a member engine touches only
+//     state owned by that shard. Cross-shard interaction happens only
+//     by scheduling events on another member (AtHandlerOn).
+//   - Rounds: at global time t, every shard dispatches its pending
+//     events with at == t in local (at, seq) order. Disjoint state
+//     makes the intra-round interleaving unobservable.
+//   - Exchange: events scheduled during a round are diverted into the
+//     executing shard's born list instead of a queue. Parents execute
+//     in ascending seq order and a parent's children append in call
+//     order, so each list is sorted by (parentSeq, childIndex) — the
+//     exact order in which the single engine would have assigned their
+//     sequence numbers (children of an event always outrank every
+//     event already scheduled). At the round barrier every shard walks
+//     an S-way merge of the lists, counts the global rank, and pushes
+//     the events targeting its own engine with seq = base + rank.
+//
+// Children scheduled at time t form the next round at t, reproducing
+// the single engine's mid-drain bucket appends; children at later
+// times land in the owner's ring or heap with globally consistent
+// sequence numbers, preserving the heap-before-ring tie rule (heap
+// residents at a time were necessarily pushed in earlier rounds, so
+// their seqs are smaller). The result is byte-identical to the
+// single-engine run for every shard count.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// infTime is the published "no pending events" marker in the next-time
+// reduction; it compares greater than every real event time.
+const infTime = Time(math.MaxInt64)
+
+// bornEvent is one event scheduled during a round, waiting for its
+// global sequence number. ev.seq temporarily holds the scheduling
+// parent's sequence (the merge key); the real seq is assigned at the
+// exchange barrier.
+type bornEvent struct {
+	target *Engine
+	ev     event
+}
+
+// shardSlot is the per-shard mutable exchange state, padded so that
+// concurrent writers do not share cache lines.
+type shardSlot struct {
+	born []bornEvent // children scheduled this round, in (parentSeq, callIdx) order
+	next Time        // published local next-event time (infTime: none)
+	gseq uint64      // replica of the global sequence counter
+	idx  []int       // merge cursors, len == shard count
+	_    [64]byte
+}
+
+// Group runs S member engines in lockstep rounds. Construct with
+// NewGroup, build the machine against the member engines (construction
+// is single-threaded and assigns sequence numbers directly), then call
+// Run or RunUntil from one goroutine; the group spawns the other S-1
+// workers itself.
+type Group struct {
+	engines []*Engine
+	shards  []shardSlot
+	seq     uint64 // global sequence counter outside Run
+	running bool
+	stop    atomic.Bool
+	bar     spinBarrier
+}
+
+// NewGroup builds a group of shards member engines (shards >= 1).
+func NewGroup(shards int) *Group {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: NewGroup needs >= 1 shard, got %d", shards))
+	}
+	g := &Group{
+		engines: make([]*Engine, shards),
+		shards:  make([]shardSlot, shards),
+	}
+	g.bar.n = int32(shards)
+	for i := range g.engines {
+		g.engines[i] = &Engine{grp: g, shardID: i}
+		g.shards[i].idx = make([]int, shards)
+	}
+	return g
+}
+
+// Shards returns the number of member engines.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Engine returns member engine i.
+func (g *Group) Engine(i int) *Engine { return g.engines[i] }
+
+// Now returns the group clock. Safe to call concurrently with a
+// running group: it reads engine 0's round-granular atomic mirror.
+func (g *Group) Now() Time { return Time(g.engines[0].stat.now.Load()) }
+
+// Events returns the total events dispatched across all members, from
+// the round-granular atomic mirrors (safe mid-run).
+func (g *Group) Events() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.stat.events.Load()
+	}
+	return n
+}
+
+// Pending returns the total scheduled, not yet dispatched events
+// across all members, from the atomic mirrors (safe mid-run).
+func (g *Group) Pending() int {
+	var n int64
+	for _, e := range g.engines {
+		n += e.stat.pending.Load()
+	}
+	return int(n)
+}
+
+// Stopped reports whether the last run was interrupted by Stop on a
+// member engine or the group.
+func (g *Group) Stopped() bool { return g.stop.Load() }
+
+// Stop interrupts a running group at the next round boundary. Unlike
+// Engine.Stop it may be called from any worker goroutine: shards check
+// the flag at the top of every round, so every member halts with its
+// clock at the same cycle.
+func (g *Group) Stop() { g.stop.Store(true) }
+
+// schedule diverts a member engine's AtHandler/AtHandlerOn call.
+// Outside Run (machine construction, teardown) it is single-threaded:
+// the global sequence is assigned directly and the event pushed.
+// Inside Run the child joins the source shard's born list with its
+// parent's sequence as the merge key.
+//
+//emx:hotpath
+func (e *Engine) scheduleSharded(target *Engine, t Time, h Handler, arg EventArg) {
+	g := e.grp
+	if !g.running {
+		g.seq++
+		target.push(event{at: t, seq: g.seq, h: h, arg: arg})
+		return
+	}
+	s := &g.shards[e.shardID]
+	s.born = append(s.born, bornEvent{
+		target: target,
+		ev:     event{at: t, seq: e.curSeq, h: h, arg: arg},
+	})
+}
+
+// AtHandlerOn schedules h.OnEvent(arg) at absolute time t on target's
+// queue. With target == e it is identical to AtHandler; a distinct
+// target must be a member of the same group (this is the only
+// sanctioned cross-shard channel — the event runs on the owner).
+func (e *Engine) AtHandlerOn(target *Engine, t Time, h Handler, arg EventArg) {
+	if target == e {
+		e.AtHandler(t, h, arg)
+		return
+	}
+	if e.grp == nil || target.grp != e.grp {
+		panic("sim: AtHandlerOn target is not a member of the same shard group")
+	}
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.scheduleSharded(target, t, h, arg)
+}
+
+// Run dispatches events until none remain on any member or Stop is
+// called. It returns the final group clock.
+func (g *Group) Run() Time {
+	g.drive(0, false)
+	return g.engines[0].now
+}
+
+// RunUntil dispatches events with time <= deadline, mirroring
+// Engine.RunUntil: if events remain past the deadline every member
+// clock is left at the deadline and true is returned.
+func (g *Group) RunUntil(deadline Time) bool {
+	g.drive(deadline, true)
+	for _, e := range g.engines {
+		if e.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// drive runs the lockstep round loop on S goroutines (the caller is
+// worker 0) until the schedule drains, the deadline passes, or a
+// member stops.
+func (g *Group) drive(deadline Time, bounded bool) {
+	g.stop.Store(false)
+	g.running = true
+	// No worker is live here, so the barrier can be reset to match the
+	// workers' fresh local sense (a previous drive may have ended after
+	// an odd number of phases).
+	g.bar.count.Store(0)
+	g.bar.sense.Store(0)
+	for i := range g.shards {
+		g.shards[i].gseq = g.seq
+		g.engines[i].stopped = false
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < len(g.engines); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.worker(w, deadline, bounded)
+		}(w)
+	}
+	g.worker(0, deadline, bounded)
+	wg.Wait()
+	g.running = false
+	g.seq = g.shards[0].gseq
+	for _, e := range g.engines {
+		e.mirror()
+	}
+}
+
+// worker is one shard's round loop. Three barriers per round: next-time
+// publication, born-list completion, and exchange completion.
+func (g *Group) worker(w int, deadline Time, bounded bool) {
+	e := g.engines[w]
+	s := &g.shards[w]
+	var sense uint32
+	for {
+		t := infTime
+		if e.nearCount+len(e.heap) > 0 {
+			t = e.peekTime()
+		}
+		s.next = t
+		g.bar.wait(&sense)
+		for i := range g.shards {
+			if n := g.shards[i].next; n < t {
+				t = n
+			}
+		}
+		if t == infTime || g.stop.Load() {
+			return
+		}
+		if bounded && t > deadline {
+			e.now = deadline
+			return
+		}
+		e.now = t
+		e.dispatchAt(t)
+		if e.stopped {
+			g.stop.Store(true)
+		}
+		g.bar.wait(&sense)
+		g.exchange(w)
+		g.bar.wait(&sense)
+		// All shards have finished reading every born list; reset ours
+		// for the next round and refresh the cross-goroutine mirror.
+		s.born = s.born[:0]
+		e.mirror()
+	}
+}
+
+// dispatchAt runs every local event scheduled at exactly time t in
+// (at, seq) order. Children born during dispatch divert to the shard's
+// born list, so the local queue only drains.
+//
+//emx:hotpath
+func (e *Engine) dispatchAt(t Time) {
+	for !e.stopped && e.nearCount+len(e.heap) > 0 && e.peekTime() == t {
+		ev := e.pop()
+		e.curSeq = ev.seq
+		e.nEvents++
+		e.obs.Dispatch(int64(ev.at))
+		ev.h.OnEvent(ev.arg)
+	}
+}
+
+// exchange assigns global sequence numbers to every event born this
+// round and pushes the ones owned by shard w. Each born list is sorted
+// by parent sequence (ties within a parent keep call order, and two
+// lists never hold the same parent), so an S-way merge visits children
+// in exactly the order the single engine would have numbered them.
+// Every shard walks the same merge and claims its own targets, so the
+// exchange is replicated rather than serialized, and each ring/heap is
+// written only by its owner.
+//
+//emx:hotpath
+func (g *Group) exchange(w int) {
+	s := &g.shards[w]
+	me := g.engines[w]
+	idx := s.idx
+	for i := range idx {
+		idx[i] = 0
+	}
+	seq := s.gseq
+	for {
+		best := -1
+		var bestSeq uint64
+		for i := range g.shards {
+			l := g.shards[i].born
+			if idx[i] < len(l) {
+				if ps := l[idx[i]].ev.seq; best < 0 || ps < bestSeq {
+					best, bestSeq = i, ps
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		be := &g.shards[best].born[idx[best]]
+		idx[best]++
+		seq++
+		if be.target == me {
+			ev := be.ev
+			ev.seq = seq
+			me.push(ev)
+		}
+	}
+	s.gseq = seq
+}
+
+// spinBarrier is a sense-reversing barrier for the round loop. Workers
+// spin briefly (rounds are microseconds apart, so on a machine with a
+// core per shard the flip almost always lands inside the spin budget),
+// yield a few times, and then park on a condition variable. The blocking
+// tail matters when GOMAXPROCS is smaller than the shard count: a
+// spinning worker on an oversubscribed host burns its entire scheduler
+// timeslice before the releasing shard gets CPU, turning every round
+// barrier into milliseconds.
+type spinBarrier struct {
+	n        int32
+	count    atomic.Int32
+	sense    atomic.Uint32
+	sleepers atomic.Int32
+	mu       sync.Mutex
+	cond     sync.Cond // lazily bound to mu on first sleep
+}
+
+//emx:hotpath
+func (b *spinBarrier) wait(localSense *uint32) {
+	s := *localSense ^ 1
+	*localSense = s
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(s)
+		// The sense store above and the sleepers load below are both
+		// sequentially consistent, mirroring sleep()'s increment-then-
+		// check order: either the sleeper sees the new sense, or we see
+		// the sleeper and broadcast (the mutex serializes us against the
+		// window between its registration and cond.Wait).
+		if b.sleepers.Load() != 0 {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+		return
+	}
+	for spins := 0; b.sense.Load() != s; spins++ {
+		if spins < 128 {
+			continue
+		}
+		if spins < 160 {
+			runtime.Gosched()
+			continue
+		}
+		b.sleep(s)
+		return
+	}
+}
+
+// sleep parks the worker until the barrier sense flips to s. Slow path
+// behind wait's spin budget.
+func (b *spinBarrier) sleep(s uint32) {
+	b.mu.Lock()
+	if b.cond.L == nil {
+		b.cond.L = &b.mu
+	}
+	b.sleepers.Add(1)
+	for b.sense.Load() != s {
+		b.cond.Wait()
+	}
+	b.sleepers.Add(-1)
+	b.mu.Unlock()
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"testing"
+)
+
+// The shard-group oracle: a randomized workload of "cells", each owned
+// by one engine, whose state evolves only through events dispatched on
+// the owner and whose children (possibly cross-shard, possibly
+// same-cycle, possibly past the ring window) are derived from that
+// state. If the group reproduces the single-engine dispatch order, the
+// per-cell state histories are byte-identical; any reordering diverges
+// almost surely because state feeds back into child placement.
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ x>>33
+}
+
+type cellSim struct {
+	cells []*shardCell
+}
+
+type shardCell struct {
+	owner *Engine
+	state uint64
+	hist  []uint64
+}
+
+// cellDeltas mixes same-cycle chains, near-future ring pushes, and
+// far-future heap pushes (>= ringSize) with ring/heap boundary values.
+var cellDeltas = []Time{0, 0, 1, 1, 2, 3, 7, 30, 130, ringSize - 1, ringSize, ringSize + 3, 2000}
+
+type cellH struct {
+	cs *cellSim
+	c  *shardCell
+}
+
+func (h cellH) OnEvent(arg EventArg) {
+	c := h.c
+	now := c.owner.Now()
+	c.state = mix(c.state ^ uint64(now)*0x9e3779b97f4a7c15)
+	c.hist = append(c.hist, c.state, uint64(now))
+	depth := arg.N
+	if depth <= 0 {
+		return
+	}
+	// Children split the remaining depth budget, so a tree started with
+	// depth d dispatches at most d events no matter how it branches.
+	st := c.state
+	k := 1
+	if st%8 == 0 {
+		k = 2
+	}
+	left := depth - 1
+	for j := 0; j < k && left > 0; j++ {
+		st = mix(st)
+		share := left
+		if k == 2 && j == 0 {
+			share = left / 2
+		}
+		left -= share
+		child := h.cs.cells[int(st%uint64(len(h.cs.cells)))]
+		delta := cellDeltas[int((st>>16)%uint64(len(cellDeltas)))]
+		c.owner.AtHandlerOn(child.owner, now+delta, cellH{h.cs, child}, EventArg{N: share})
+	}
+}
+
+// buildCells wires nCells cells onto the given engines (contiguous
+// ranges) and schedules one seed tree per cell, in cell order so that
+// construction-time sequence numbers match across topologies.
+func buildCells(engines []*Engine, nCells int, depth int64) *cellSim {
+	cs := &cellSim{}
+	s := len(engines)
+	for i := 0; i < nCells; i++ {
+		cs.cells = append(cs.cells, &shardCell{
+			owner: engines[i*s/nCells],
+			state: mix(uint64(i) + 12345),
+		})
+	}
+	for i, c := range cs.cells {
+		c.owner.AtHandler(Time(i%13), cellH{cs, c}, EventArg{N: depth})
+	}
+	return cs
+}
+
+func singleEngines() []*Engine { return []*Engine{NewEngine()} }
+
+func groupEngines(s int) (*Group, []*Engine) {
+	g := NewGroup(s)
+	engs := make([]*Engine, s)
+	for i := range engs {
+		engs[i] = g.Engine(i)
+	}
+	return g, engs
+}
+
+func TestGroupMatchesSingleEngine(t *testing.T) {
+	const nCells, depth = 48, 600
+	ref := buildCells(singleEngines(), nCells, depth)
+	refEnd := ref.cells[0].owner.Run()
+	refEvents := ref.cells[0].owner.Events()
+	if refEvents < 2000 {
+		t.Fatalf("workload too small to be a meaningful oracle: %d events", refEvents)
+	}
+
+	for _, s := range []int{1, 2, 3, 4, 7} {
+		g, engs := groupEngines(s)
+		cs := buildCells(engs, nCells, depth)
+		end := g.Run()
+		if end != refEnd {
+			t.Errorf("shards=%d: final clock %d, want %d", s, end, refEnd)
+		}
+		if ev := g.Events(); ev != refEvents {
+			t.Errorf("shards=%d: %d events dispatched, want %d", s, ev, refEvents)
+		}
+		for i := range cs.cells {
+			got, want := cs.cells[i].hist, ref.cells[i].hist
+			if len(got) != len(want) {
+				t.Errorf("shards=%d: cell %d history length %d, want %d", s, i, len(got), len(want))
+				continue
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Errorf("shards=%d: cell %d history diverges at %d: %#x != %#x", s, i, j, got[j], want[j])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestGroupRunUntil(t *testing.T) {
+	const nCells, depth = 32, 400
+	const deadline = Time(300)
+
+	ref := buildCells(singleEngines(), nCells, depth)
+	refMore := ref.cells[0].owner.RunUntil(deadline)
+	refNow := ref.cells[0].owner.Now()
+
+	g, engs := groupEngines(4)
+	cs := buildCells(engs, nCells, depth)
+	more := g.RunUntil(deadline)
+	if more != refMore {
+		t.Errorf("RunUntil more = %v, want %v", more, refMore)
+	}
+	if g.Now() != refNow {
+		t.Errorf("Now() = %d, want %d", g.Now(), refNow)
+	}
+	for i := range cs.cells {
+		if len(cs.cells[i].hist) != len(ref.cells[i].hist) {
+			t.Fatalf("cell %d: %d history entries before deadline, want %d",
+				i, len(cs.cells[i].hist), len(ref.cells[i].hist))
+		}
+	}
+
+	// Resuming past the deadline must drain to the same final state.
+	ref.cells[0].owner.Run()
+	g.Run()
+	for i := range cs.cells {
+		if len(cs.cells[i].hist) != len(ref.cells[i].hist) {
+			t.Fatalf("cell %d: %d history entries after resume, want %d",
+				i, len(cs.cells[i].hist), len(ref.cells[i].hist))
+		}
+	}
+}
+
+func TestGroupSnapshotAfterRun(t *testing.T) {
+	g, engs := groupEngines(2)
+	buildCells(engs, 8, 100)
+	g.Run()
+	now, events, pending := engs[0].Snapshot()
+	if now != engs[0].Now() {
+		t.Errorf("Snapshot now = %d, want %d", now, engs[0].Now())
+	}
+	if events != engs[0].Events() {
+		t.Errorf("Snapshot events = %d, want %d", events, engs[0].Events())
+	}
+	if pending != 0 || g.Pending() != 0 {
+		t.Errorf("Snapshot pending = %d, group pending = %d, want 0", pending, g.Pending())
+	}
+}
+
+func TestAtHandlerOnForeignEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling across unrelated engines")
+		}
+	}()
+	a, b := NewEngine(), NewEngine()
+	a.AtHandlerOn(b, 1, runFunc, EventArg{Ptr: func() {}})
+}
+
+func TestGroupStopAtRoundBoundary(t *testing.T) {
+	g, engs := groupEngines(2)
+	e0 := engs[0]
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 {
+			e0.Stop()
+			return
+		}
+		e0.After(1, tick)
+	}
+	e0.At(0, tick)
+	g.Run()
+	if !g.Stopped() {
+		t.Fatal("group did not observe Stop")
+	}
+	if n != 5 {
+		t.Fatalf("dispatched %d ticks, want 5", n)
+	}
+}
+
+// TestWindowedDriverZeroAlloc guards the windowed single-engine driver
+// (RunUntil in fixed windows, the labd serving pattern): steady-state
+// scheduling and dispatch must not allocate, including the atomic
+// snapshot mirror.
+func TestWindowedDriverZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := &selfTickH{e: e}
+	for i := 0; i < 8; i++ {
+		e.AtHandler(Time(i), h, EventArg{N: 1 << 40})
+	}
+	deadline := Time(0)
+	// Warm up ring buckets.
+	deadline += 4096
+	e.RunUntil(deadline)
+	allocs := testing.AllocsPerRun(16, func() {
+		deadline += 1024
+		e.RunUntil(deadline)
+	})
+	if allocs != 0 {
+		t.Fatalf("windowed driver allocated %.1f per window, want 0", allocs)
+	}
+}
+
+type selfTickH struct{ e *Engine }
+
+func (h *selfTickH) OnEvent(arg EventArg) {
+	if arg.N > 0 {
+		h.e.AtHandler(h.e.Now()+1, h, EventArg{N: arg.N - 1})
+	}
+}
+
+// BenchmarkShardGroupDispatch measures the lockstep round loop with a
+// cross-shard all-to-all tick pattern (the worst case: every round has
+// work on every shard and every child crosses the exchange).
+func BenchmarkShardGroupDispatch(b *testing.B) {
+	for _, s := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "shards=1", 2: "shards=2", 4: "shards=4"}[s], func(b *testing.B) {
+			g, engs := groupEngines(s)
+			cs := &cellSim{}
+			const nCells = 64
+			for i := 0; i < nCells; i++ {
+				cs.cells = append(cs.cells, &shardCell{
+					owner: engs[i*s/nCells],
+					state: mix(uint64(i)),
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, c := range cs.cells {
+					c.hist = c.hist[:0]
+				}
+				b.StartTimer()
+				for j, c := range cs.cells {
+					c.owner.AtHandler(g.Now()+Time(j%13), cellH{cs, c}, EventArg{N: 400})
+				}
+				g.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkWindowedDriver is the 0 allocs/op guard in benchmark form.
+func BenchmarkWindowedDriver(b *testing.B) {
+	e := NewEngine()
+	h := &selfTickH{e: e}
+	for i := 0; i < 8; i++ {
+		e.AtHandler(Time(i), h, EventArg{N: 1 << 60})
+	}
+	deadline := Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deadline += 128
+		e.RunUntil(deadline)
+	}
+}
