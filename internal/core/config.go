@@ -55,8 +55,11 @@ type Config struct {
 	// partitioned into this many contiguous blocks, each advanced by its
 	// own engine in the lockstep rounds of a sim.Group. 0 and 1 both mean
 	// a single engine. Sharding is a pure host optimization — results are
-	// byte-identical for every shard count — so it is excluded from
+	// byte-identical for every shard count (asserted machine-level by
+	// TestShardedRunMatchesSingleEngine) — so it is excluded from
 	// Fingerprint and from run identities.
+	//
+	//emx:nofingerprint shard count never changes simulated results
 	Shards int
 
 	// Proc configures the packet units (IBU/OBU/DMA, service mode).

@@ -213,7 +213,7 @@ func (m *Machine) step(t *thr, msg resumeMsg) any {
 	y := <-sh.yieldCh
 	sh.cur = nil
 	if y.t != t {
-		panic(fmt.Sprintf("core: yield from %v while stepping %v", y.t, t))
+		panic(fmt.Sprintf("core: yield from %v while stepping %v", y.t, t)) //emx:coldpath
 	}
 	return y.op
 }

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Baseline support for incremental adoption. A baseline file is simply
+// a saved `emxvet -json` run: findings present in it are accepted debt
+// and suppressed, anything new fails the build. The repository commits
+// an EMPTY baseline (.emxvet-baseline.json) and CI asserts it stays
+// empty — the mechanism exists for downstream forks and for landing a
+// new analyzer before its annotation sweep, not as a place for findings
+// to retire quietly.
+//
+// Matching deliberately ignores line and column: a baselined finding
+// should survive unrelated edits above it. The key is (analyzer, file
+// basename, message); duplicates are counted, so N baselined copies of
+// one message suppress at most N findings.
+
+// baselineKey identifies one finding independent of its exact position.
+type baselineKey struct {
+	Analyzer string
+	File     string // basename only: baselines survive checkout moves
+	Message  string
+}
+
+func keyOf(d Diagnostic) baselineKey {
+	return baselineKey{
+		Analyzer: d.Analyzer,
+		File:     filepath.Base(d.Pos.Filename),
+		Message:  d.Message,
+	}
+}
+
+// Baseline is a parsed baseline file.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+// LoadBaseline reads a baseline file (the JSON array emitted by
+// `emxvet -json`).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w (want the JSON array emitted by emxvet -json)", path, err)
+	}
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, d := range diags {
+		b.counts[keyOf(d)]++
+	}
+	return b, nil
+}
+
+// Size returns the number of baselined findings.
+func (b *Baseline) Size() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Filter splits diags into the findings not covered by the baseline
+// (fresh — these fail the run) and the count of suppressed ones. Filter
+// consumes the baseline's counts and must be called once.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, suppressed int) {
+	for _, d := range diags {
+		k := keyOf(d)
+		if b.counts[k] > 0 {
+			b.counts[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}

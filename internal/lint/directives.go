@@ -30,6 +30,22 @@ const (
 	// strict simtime/flushbefore rules). Consumed by the package
 	// classifier.
 	DirDeterminism = "determinism"
+	// DirCrossShard marks an audited line that intentionally touches
+	// another shard's state or engine outside the AtHandlerOn channel.
+	// Consumed by shardaffinity.
+	DirCrossShard = "crossshard"
+	// DirNoFingerprint, on a Config field declaration, attests that the
+	// field is host-side only: excluded from Fingerprint AND proven not
+	// to change simulation results (the Shards contract). Consumed by
+	// fingerprintpurity.
+	DirNoFingerprint = "nofingerprint"
+	// DirObsHook marks a function declaration as an observability entry
+	// point in addition to the built-in emx/internal/obs exports.
+	// Consumed by obspurity.
+	DirObsHook = "obshook"
+	// DirObsExempt marks an audited line inside obs-reachable code that
+	// intentionally touches machine state. Consumed by obspurity.
+	DirObsExempt = "obsexempt"
 )
 
 var knownDirectives = map[string]bool{
@@ -38,6 +54,10 @@ var knownDirectives = map[string]bool{
 	DirHotPath:        true,
 	DirColdPath:       true,
 	DirDeterminism:    true,
+	DirCrossShard:     true,
+	DirNoFingerprint:  true,
+	DirObsHook:        true,
+	DirObsExempt:      true,
 }
 
 // Directive is one parsed //emx: comment.
@@ -225,17 +245,31 @@ func suppressedBy(pkg *Package, n ast.Node, name string) bool {
 	return false
 }
 
-// EmxDirective reports malformed and unknown //emx: comments. The
-// per-analyzer "unused directive" checks catch correctly spelled
-// directives on lines they do not govern; this analyzer catches the
-// spellings Go would otherwise treat as ordinary comments.
+// EmxDirective reports malformed, unknown, and duplicated //emx:
+// comments. The per-analyzer "unused directive" checks catch correctly
+// spelled directives on lines they do not govern; this analyzer catches
+// the spellings Go would otherwise treat as ordinary comments, and
+// stacked duplicates of the same directive on one declaration — the
+// lookup answers with the first copy, so the later ones silently do
+// nothing and usually indicate a botched merge.
 var EmxDirective = &Analyzer{
 	Name: "emxdirective",
-	Doc:  "check that every //emx: directive is well-formed, known, and correctly placed",
+	Doc:  "check that every //emx: directive is well-formed, known, correctly placed, and not a duplicate",
 	Run:  runEmxDirective,
 }
 
+// directiveSite identifies where a directive takes effect, for
+// duplicate detection: two well-formed copies of one name governing the
+// same line (or both sitting in a package doc) shadow each other.
+type directiveSite struct {
+	name         string
+	file         string
+	line         int
+	packageLevel bool
+}
+
 func runEmxDirective(pass *Pass) {
+	seen := map[directiveSite]*Directive{}
 	for _, d := range pass.Pkg.Directives.All() {
 		switch {
 		case d.Malformed:
@@ -244,12 +278,23 @@ func runEmxDirective(pass *Pass) {
 			pass.Reportf(d.Pos, "unknown emx directive //emx:%s (known: %s)", d.Name, knownNames())
 		case d.Name == DirDeterminism && !d.PackageLevel:
 			pass.Reportf(d.Pos, "//emx:determinism must appear in the package doc comment")
+		default:
+			site := directiveSite{d.Name, d.File, d.EffectiveLine, d.PackageLevel}
+			if first, dup := seen[site]; dup {
+				pass.ReportRelated(d.Pos,
+					[]Related{pass.RelatedAt(first.Pos, "first //emx:%s here", d.Name)},
+					"duplicate //emx:%s directive: an earlier copy already governs line %d",
+					d.Name, d.EffectiveLine)
+			} else {
+				seen[site] = d
+			}
 		}
 	}
 }
 
 func knownNames() string {
 	return strings.Join([]string{
-		DirColdPath, DirDeterminism, DirHostClock, DirHotPath, DirOrderInvariant,
+		DirColdPath, DirCrossShard, DirDeterminism, DirHostClock, DirHotPath,
+		DirNoFingerprint, DirObsExempt, DirObsHook, DirOrderInvariant,
 	}, ", ")
 }

@@ -26,6 +26,14 @@ func TestFlushBefore(t *testing.T) { linttest.Run(t, "flushbefore", lint.FlushBe
 
 func TestDirective(t *testing.T) { linttest.Run(t, "directive", lint.EmxDirective) }
 
+func TestShardAffinity(t *testing.T) { linttest.Run(t, "shardaffinity", lint.ShardAffinity) }
+
+func TestFingerprintPurity(t *testing.T) { linttest.Run(t, "fingerprint", lint.FingerprintPurity) }
+
+func TestObsPurity(t *testing.T) { linttest.Run(t, "obs", lint.ObsPurity) }
+
+func TestHotPropagate(t *testing.T) { linttest.Run(t, "hotpropagate", lint.HotPropagate) }
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.Analyzers() {
 		if lint.ByName(a.Name) != a {

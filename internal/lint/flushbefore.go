@@ -21,6 +21,14 @@ import (
 // site in the runtime (sync first, observe after), and it catches the
 // real bug class — adding an early observation to a TC method without
 // thinking about the buffer.
+//
+// Flush recognition is interprocedural (v2): a call to a helper whose
+// body — transitively, through static calls — performs a flush counts
+// as a flush, so wrapping tc.sync() in a convenience method does not
+// produce false positives. The observation side deliberately stays
+// intraprocedural: treating every caller of an observing helper as
+// coroutine-side would flood engine-side code with findings (see
+// DESIGN.md §12 for the boundary).
 var FlushBefore = &Analyzer{
 	Name: "flushbefore",
 	Doc:  "require an op-buffer flush before observable machine state is read from coroutine-side code",
@@ -87,9 +95,10 @@ func coroutineSide(pkg *Package, fd *ast.FuncDecl) bool {
 // call precedes in source order.
 func checkFlushOrder(pass *Pass, fd *ast.FuncDecl) {
 	pkg := pass.Pkg
+	flushing := flushingFuncs(pass.Prog)
 	var flushes []ast.Node
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isFlushCall(pkg, call) {
+		if call, ok := n.(*ast.CallExpr); ok && isFlushCall(pkg, call, flushing) {
 			flushes = append(flushes, call)
 		}
 		return true
@@ -125,9 +134,51 @@ func checkFlushOrder(pass *Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// isFlushCall recognizes the two flush shapes: a call to a method
-// named sync/Sync, and yieldOp(opFlush{...}).
-func isFlushCall(pkg *Package, call *ast.CallExpr) bool {
+// flushingFuncs computes (once per Program) the set of functions that
+// flush the op buffer, directly or through a chain of static calls —
+// the interprocedural half of the flush recognizer.
+func flushingFuncs(prog *Program) map[*types.Func]bool {
+	return prog.cached("flushbefore.flushing", func() any {
+		flushing := map[*types.Func]bool{}
+		// Flags only accumulate, so the fixpoint is bounded by the longest
+		// wrapper chain; cap the sweeps defensively.
+		for sweep := 0; sweep < 10; sweep++ {
+			changed := false
+			for _, n := range prog.Graph().Nodes() {
+				if n.Pkg == nil || n.Obj == nil || n.Body() == nil || flushing[n.Obj] {
+					continue
+				}
+				found := false
+				ast.Inspect(n.Body(), func(x ast.Node) bool {
+					if found {
+						return false
+					}
+					if _, ok := x.(*ast.FuncLit); ok {
+						return false // a literal runs later, not in this call
+					}
+					if call, ok := x.(*ast.CallExpr); ok && isFlushCall(n.Pkg, call, flushing) {
+						found = true
+						return false
+					}
+					return true
+				})
+				if found {
+					flushing[n.Obj] = true
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		return flushing
+	}).(map[*types.Func]bool)
+}
+
+// isFlushCall recognizes the flush shapes: a call to a method named
+// sync/Sync, yieldOp(opFlush{...}), or a call into a function the
+// flushing-set fixpoint has proven to flush transitively.
+func isFlushCall(pkg *Package, call *ast.CallExpr, flushing map[*types.Func]bool) bool {
 	name := ""
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
@@ -145,6 +196,9 @@ func isFlushCall(pkg *Package, call *ast.CallExpr) bool {
 				return true
 			}
 		}
+	}
+	if callee := StaticCallee(pkg, call); callee != nil && flushing[callee.Origin()] {
+		return true
 	}
 	return false
 }

@@ -40,12 +40,9 @@ func runHotAlloc(pass *Pass) {
 			checkHotFunc(pass, fd)
 		}
 	}
-	for _, d := range pkg.Directives.Unused(DirHotPath) {
-		pass.Reportf(d.Pos, "unused //emx:hotpath directive: not attached to a function declaration")
-	}
-	for _, d := range pkg.Directives.Unused(DirColdPath) {
-		pass.Reportf(d.Pos, "unused //emx:coldpath directive: no hot-path finding suppressed on line %d", d.EffectiveLine)
-	}
+	// Unused //emx:hotpath and //emx:coldpath hygiene is reported by
+	// hotpropagate, which runs after every consumer of those directives
+	// (including its own propagation pass) has claimed its sites.
 }
 
 // hotPathMarked reports whether fd carries //emx:hotpath, either in

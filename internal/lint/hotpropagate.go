@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPropagate extends hotalloc across function boundaries: a function
+// reached from an //emx:hotpath root through static calls is itself on
+// the hot path, whether or not it carries the directive, so the
+// allocation rules apply to it too. Without this, a hot function can
+// launder an allocation through a one-line helper and the suite never
+// notices — exactly the rot mode of a fast lane maintained by
+// convention.
+//
+// Propagation follows EdgeDirect edges only. Interface dispatch and
+// stored closures are deliberate boundaries: the handler lane's OnEvent
+// fan-out would otherwise mark every handler in the program hot, and
+// hotalloc already charges closure creation to the hot function that
+// creates it while treating the body as cold. A helper that is hot in
+// fact but only reachable through an interface should carry its own
+// //emx:hotpath.
+//
+// Escape hatch: //emx:coldpath on a function declaration declares the
+// whole function a cold region (an error formatter, a teardown helper).
+// Propagation stops there — the function and its callees stay exempt.
+//
+// Every finding carries the propagation chain ("hot via A -> B -> C"),
+// so a diagnostic in a helper explains which hot root makes it hot.
+//
+// This analyzer also owns the end-of-run hygiene for the hot-path
+// directives: //emx:hotpath not attached to a function and
+// //emx:coldpath that suppressed nothing are reported here, after every
+// consumer (hotalloc and the propagation pass) has had its chance to
+// use them.
+var HotPropagate = &Analyzer{
+	Name: "hotpropagate",
+	Doc:  "propagate //emx:hotpath through static calls so hot-path findings fire in helpers",
+	Run:  runHotPropagate,
+}
+
+// hotReach computes (once per Program) the set of functions reachable
+// from //emx:hotpath roots via static calls, with //emx:coldpath
+// declarations pruning the walk.
+func hotReach(prog *Program) *ReachSet {
+	return prog.cached("hotpropagate.reach", func() any {
+		g := prog.Graph()
+		var roots []*FuncNode
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if hotPathMarked(pkg, fd) {
+						if n := g.NodeOf(funcObj(pkg, fd)); n != nil {
+							roots = append(roots, n)
+						}
+					}
+				}
+			}
+		}
+		return g.Reach(roots, EdgeDirect.Mask(), func(n *FuncNode) bool {
+			return n.Decl != nil && n.Pkg != nil && declColdMarked(n.Pkg, n.Decl)
+		})
+	}).(*ReachSet)
+}
+
+// declColdMarked reports whether the function declaration itself
+// carries //emx:coldpath (doc comment or declaration line), consuming
+// the directive: the whole function is a declared cold region.
+func declColdMarked(pkg *Package, fd *ast.FuncDecl) bool {
+	for _, d := range pkg.Directives.All() {
+		if d.Name != DirColdPath || d.Malformed {
+			continue
+		}
+		inDoc := fd.Doc != nil && d.Pos >= fd.Doc.Pos() && d.Pos < fd.Doc.End()
+		file, line := nodeLine(pkg, fd)
+		onLine := d.File == file && d.EffectiveLine == line
+		if inDoc || onLine {
+			pkg.Directives.Use(d)
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPropagate(pass *Pass) {
+	pkg := pass.Pkg
+	reach := hotReach(pass.Prog)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			node := pass.Prog.Graph().NodeOf(funcObj(pkg, fd))
+			if node == nil || !reach.Has(node) {
+				continue
+			}
+			if declColdMarked(pkg, fd) {
+				continue
+			}
+			if hotPathMarked(pkg, fd) {
+				// hotalloc owns the findings of directly marked
+				// functions; run the checks with a discarded reporter so
+				// //emx:coldpath suppressions inside are still consumed
+				// even under `-only hotpropagate`.
+				silent := &Pass{Analyzer: pass.Analyzer, Pkg: pkg, Prog: pass.Prog,
+					report: func(Diagnostic) {}}
+				checkHotFunc(silent, fd)
+				continue
+			}
+			chain := reach.Chain(node)
+			related := make([]Related, 0, len(chain))
+			for _, e := range chain {
+				related = append(related, pass.RelatedAt(e.Pos, "%s calls %s here", e.From.Name(), e.To.Name()))
+			}
+			suffix := " (hot via " + reach.ChainString(node) + ")"
+			chained := &Pass{Analyzer: pass.Analyzer, Pkg: pkg, Prog: pass.Prog,
+				report: func(d Diagnostic) {
+					d.Message += suffix
+					d.Related = related
+					pass.report(d)
+				}}
+			checkHotFunc(chained, fd)
+		}
+	}
+	for _, d := range pkg.Directives.Unused(DirHotPath) {
+		pass.Reportf(d.Pos, "unused //emx:hotpath directive: not attached to a function declaration")
+	}
+	for _, d := range pkg.Directives.Unused(DirColdPath) {
+		pass.Reportf(d.Pos, "unused //emx:coldpath directive: no hot-path finding suppressed on line %d", d.EffectiveLine)
+	}
+}
+
+// funcObj returns the types object a declaration defines.
+func funcObj(pkg *Package, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}

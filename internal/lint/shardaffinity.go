@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ShardAffinity enforces the ownership convention the parallel
+// intra-run simulation (sim.Group, DESIGN.md §11) rests on: every piece
+// of machine/network state belongs to exactly one shard, a handler runs
+// on its owner's engine and touches only that shard's rows, and the
+// only sanctioned cross-shard channel is scheduling an event on the
+// owner via AtHandlerOn (the round-exchange path assigns it a globally
+// consistent sequence number).
+//
+// The check is a taint analysis over handler-reachable code in
+// simulation-core packages. Indexing a slice of *Engine resolves a
+// shard identity; the index expression is the shard key, and every
+// value derived from it (the engine, sibling per-shard rows indexed by
+// the same key) belongs to that shard. A single handler-reachable
+// function may resolve at most ONE shard key: touching a second shard's
+// engine or rows from the same activation is exactly the bug class that
+// breaks byte-determinism, because the intra-round interleaving of
+// shards is unobservable only while their state stays disjoint.
+//
+// Sanctioned escapes:
+//
+//   - an engine passed as the first argument of AtHandlerOn may carry
+//     any key — that IS the cross-shard channel, and the flow is
+//     followed through helpers via call summaries;
+//   - //emx:crossshard on the offending line marks an audited site
+//     (construction-order code that must touch every shard, teardown).
+//
+// Ranging over an engine slice from handler context is reported
+// unconditionally (modulo the directive): a handler that walks all
+// shards' engines cannot be running on each of their owners at once.
+var ShardAffinity = &Analyzer{
+	Name: "shardaffinity",
+	Doc:  "shard-owned state may only be touched from its owner's handlers; cross-shard work goes through AtHandlerOn",
+	Run:  runShardAffinity,
+}
+
+// isEngineValue reports whether t is *Engine (any package's Engine —
+// name-anchored so fixtures model the runtime with their own types).
+func isEngineValue(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
+}
+
+// isEngineSlice reports whether t is a slice/array of *Engine.
+func isEngineSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isEngineValue(u.Elem())
+	case *types.Array:
+		return isEngineValue(u.Elem())
+	}
+	return false
+}
+
+// handlerReach computes (once per Program) the functions reachable from
+// event-handler entry points: OnEvent methods in sim-core-scope
+// packages, plus closures passed to engine scheduling calls.
+func handlerReach(prog *Program) *ReachSet {
+	return prog.cached("shardaffinity.reach", func() any {
+		g := prog.Graph()
+		var roots []*FuncNode
+		for _, pkg := range prog.Pkgs {
+			if !isSimCore(pkg) {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if fd.Recv != nil && fd.Name.Name == "OnEvent" &&
+						fd.Type.Params != nil && len(fd.Type.Params.List) == 1 {
+						if n := g.NodeOf(funcObj(pkg, fd)); n != nil {
+							roots = append(roots, n)
+						}
+					}
+				}
+			}
+			// Closures handed to engine scheduling calls run in handler
+			// context too (the funcRunner lane).
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || (sel.Sel.Name != "After" && sel.Sel.Name != "At") {
+						return true
+					}
+					if !isEngineValue(pkg.Info.TypeOf(sel.X)) {
+						return true
+					}
+					for _, arg := range call.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							if ln := g.NodeOfLit(lit); ln != nil {
+								roots = append(roots, ln)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return g.Reach(roots, AllEdges, nil)
+	}).(*ReachSet)
+}
+
+// engineSummaries computes (once per Program) how each function uses
+// engine-typed parameters, so a resolved engine handed to a helper two
+// calls deep still counts as touched.
+func engineSummaries(prog *Program) *Summaries {
+	return prog.cached("shardaffinity.summaries", func() any {
+		return ComputeSummaries(prog, isEngineValue)
+	}).(*Summaries)
+}
+
+func runShardAffinity(pass *Pass) {
+	pkg := pass.Pkg
+	if !isSimCore(pkg) {
+		return
+	}
+	reach := handlerReach(pass.Prog)
+	sums := engineSummaries(pass.Prog)
+	g := pass.Prog.Graph()
+	check := func(fd *ast.FuncDecl, body *ast.BlockStmt, name string, node *FuncNode) {
+		if node == nil || !reach.Has(node) {
+			return
+		}
+		checkShardFunc(pass, body, name, sums, reach, node)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(fd, fd.Body, fd.Name.Name, g.NodeOf(funcObj(pkg, fd)))
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					if ln := g.NodeOfLit(lit); ln != nil && reach.Has(ln) {
+						checkShardFunc(pass, lit.Body, "func literal", sums, reach, ln)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, d := range pkg.Directives.Unused(DirCrossShard) {
+		pass.Reportf(d.Pos, "unused //emx:crossshard directive: no cross-shard finding suppressed on line %d", d.EffectiveLine)
+	}
+}
+
+// shardUse is one site that commits the function to a shard key.
+type shardUse struct {
+	key  string // canonical key identity
+	disp string // display form ("sh", "n.nodeSh[next]")
+	pos  ast.Node
+}
+
+// checkShardFunc runs the single-shard-key rule over one body.
+func checkShardFunc(pass *Pass, body *ast.BlockStmt, name string, sums *Summaries, reach *ReachSet, node *FuncNode) {
+	pkg := pass.Pkg
+
+	// keyOf canonicalizes an index expression into a shard key: the
+	// variable object for identifiers, the expression text otherwise.
+	keyObjects := map[types.Object]string{}
+	keyDisplay := map[string]string{}
+	keyOf := func(idx ast.Expr) (string, string) {
+		idx = ast.Unparen(idx)
+		if id, ok := idx.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				key := "var:" + id.Name + "@" + pkg.Fset.Position(obj.Pos()).String()
+				keyObjects[obj] = key
+				keyDisplay[key] = id.Name
+				return key, id.Name
+			}
+		}
+		s := types.ExprString(idx)
+		key := "expr:" + s
+		keyDisplay[key] = s
+		return key, s
+	}
+
+	// Taint: values produced by indexing an engine slice carry their
+	// shard key as a label.
+	taint := NewTaint(pkg, func(expr ast.Expr) Labels {
+		ix, ok := expr.(*ast.IndexExpr)
+		if !ok || !isEngineSlice(pkg.Info.TypeOf(ix.X)) {
+			return nil
+		}
+		key, _ := keyOf(ix.Index)
+		return Labels{key: true}
+	}, nil)
+	taint.Run(body)
+
+	// handled marks engine-valued expressions already judged at their
+	// call site (sanctioned AtHandlerOn targets, arguments resolved
+	// through callee summaries), so the raw IndexExpr walk below does
+	// not second-guess the interprocedural verdict.
+	handled := map[ast.Expr]bool{}
+
+	var uses []shardUse
+	addUse := func(labels Labels, n ast.Node) {
+		for key := range labels {
+			uses = append(uses, shardUse{key: key, disp: keyDisplay[key], pos: n})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own handler-reachable node
+		case *ast.RangeStmt:
+			if isEngineSlice(pkg.Info.TypeOf(n.X)) {
+				if !suppressedBy(pkg, n, DirCrossShard) {
+					pass.Reportf(n.Pos(),
+						"handler-reachable %s iterates all engine shards (shard-owned state must be touched from its owner; annotate //emx:crossshard if audited)",
+						name)
+				}
+			}
+		case *ast.IndexExpr:
+			if handled[n] {
+				return true
+			}
+			// Indexing any collection with an established shard key
+			// touches that shard's row.
+			if idx, ok := ast.Unparen(n.Index).(*ast.Ident); ok {
+				if key, ok := keyObjects[pkg.Info.Uses[idx]]; ok {
+					uses = append(uses, shardUse{key: key, disp: keyDisplay[key], pos: n})
+					return true
+				}
+			}
+			// Indexing an engine slice by a non-identifier expression
+			// resolves a key: a use in its own right.
+			if isEngineSlice(pkg.Info.TypeOf(n.X)) {
+				key, disp := keyOf(n.Index)
+				uses = append(uses, shardUse{key: key, disp: disp, pos: n})
+			}
+		case *ast.CallExpr:
+			sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if isSel {
+				// A method invoked on a keyed engine value commits to
+				// that key (receiver side).
+				if labels := taint.Of(sel.X); len(labels) > 0 && isEngineValue(pkg.Info.TypeOf(sel.X)) {
+					addUse(labels, n)
+					handled[ast.Unparen(sel.X)] = true
+				}
+			}
+			for i, arg := range n.Args {
+				if !isEngineValue(pkg.Info.TypeOf(arg)) {
+					continue
+				}
+				// The call site owns the verdict for this engine value;
+				// the IndexExpr walk must not re-judge it.
+				handled[ast.Unparen(arg)] = true
+				if isSel && sel.Sel.Name == "AtHandlerOn" && i == 0 {
+					continue // the sanctioned cross-shard channel
+				}
+				labels := taint.Of(arg)
+				if len(labels) == 0 {
+					continue
+				}
+				// Follow the engine into the callee: only flag if the
+				// callee (transitively) consumes it as state.
+				use := ParamUsed
+				if callee := StaticCallee(pkg, n); callee != nil {
+					if cn := pass.Prog.Graph().NodeOf(callee); cn != nil && cn.Decl != nil {
+						use = sums.Use(cn, i)
+					}
+				}
+				if use&ParamUsed != 0 {
+					addUse(labels, arg)
+				}
+			}
+		}
+		return true
+	})
+
+	if len(uses) == 0 {
+		return
+	}
+	// One verdict per shard key, anchored at its first use; the earliest
+	// key is the function's rightful shard, every later one a violation.
+	sort.SliceStable(uses, func(i, j int) bool { return uses[i].pos.Pos() < uses[j].pos.Pos() })
+	first := map[string]shardUse{}
+	var order []string
+	for _, u := range uses {
+		if _, ok := first[u.key]; !ok {
+			first[u.key] = u
+			order = append(order, u.key)
+		}
+	}
+	primary := first[order[0]]
+	for _, key := range order[1:] {
+		u := first[key]
+		if suppressedBy(pkg, u.pos, DirCrossShard) {
+			continue
+		}
+		related := []Related{pass.RelatedAt(primary.pos.Pos(), "shard key %q first resolved here", primary.disp)}
+		if chain := reach.Chain(node); len(chain) > 0 {
+			related = append(related, pass.RelatedAt(chain[0].Pos, "handler-reachable via %s", reach.ChainString(node)))
+		}
+		pass.ReportRelated(u.pos.Pos(), related,
+			"cross-shard access in handler-reachable %s: state keyed by %q is touched alongside shard key %q (route cross-shard work through AtHandlerOn or annotate //emx:crossshard)",
+			name, u.disp, primary.disp)
+	}
+}

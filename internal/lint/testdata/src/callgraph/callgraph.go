@@ -1,0 +1,39 @@
+// Package callgraph is a structural fixture for the call-graph builder:
+// callgraph_test.go loads it and asserts edges directly, so there are
+// no want comments here. It imports the real engine so the closure lane
+// (sim.After/sim.At scheduling a FuncLit through funcRunner) is the
+// genuine article, not a mock.
+package callgraph
+
+import "emx/internal/sim"
+
+type runner interface{ run() int }
+
+type fast struct{}
+
+func (fast) run() int { return 1 }
+
+type slow struct{ n int }
+
+func (s *slow) run() int { return s.n }
+
+func helper() int { return 0 }
+
+// direct: plain static call.
+func direct() int { return helper() }
+
+// viaValue: a method value referenced, not called.
+func viaValue() func() int {
+	f := fast{}
+	return f.run
+}
+
+// dispatch: a call through the interface fans out to every loaded
+// implementation (conservative over-approximation).
+func dispatch(r runner) int { return r.run() }
+
+// schedule: a closure handed to the engine's After — the funcRunner
+// lane. The literal is a closure edge; its body calls helper directly.
+func schedule(e *sim.Engine) {
+	e.After(3, func() { helper() })
+}

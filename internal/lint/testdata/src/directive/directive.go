@@ -17,3 +17,26 @@ func C() {}
 //
 //emx:hostclock
 func D() {}
+
+// E stacks the SAME directive twice over one declaration: the lookup
+// answers with the first copy, so the second silently does nothing —
+// usually a botched merge. Only the duplicate is reported.
+//
+//emx:hotpath
+//emx:hotpath // want "duplicate //emx:hotpath directive"
+func E() {}
+
+// F stacks two DIFFERENT directives: both govern the next code line,
+// which is the whole point of stacking, so no finding.
+//
+//emx:hotpath
+//emx:hostclock
+func F() {}
+
+// G has one standalone and one trailing copy of a directive aimed at
+// the same line: duplicates too, even across placement styles.
+func G() {
+	//emx:orderinvariant
+	x := 0 //emx:orderinvariant // want "duplicate //emx:orderinvariant directive"
+	_ = x
+}

@@ -1,0 +1,56 @@
+// Package hotpropagate exercises transitive hot-path propagation: the
+// allocation rules of //emx:hotpath must follow static calls into
+// unmarked helpers, stop at declared cold regions and interface
+// dispatch, and report the propagation chain.
+package hotpropagate
+
+type q struct {
+	heap []int
+	sink any
+}
+
+// root is the marked hot entry point; it only delegates.
+//
+//emx:hotpath
+func (s *q) root(n int) {
+	s.level1(n)
+	s.formatPanic(n)
+	dispatch(s, n)
+}
+
+// level1 is unmarked but hot via root.
+func (s *q) level1(n int) {
+	s.level2(n)
+}
+
+// level2 is two static calls below the root: findings still fire here,
+// with the chain attached, and //emx:coldpath still suppresses a line.
+func (s *q) level2(n int) {
+	s.sink = n // want "boxed into an interface in hot-path function level2"
+	if n < 0 {
+		s.sink = n //emx:coldpath diagnostics only
+	}
+}
+
+// formatPanic is reachable from root but declares itself a cold region:
+// propagation stops at the declaration, so the boxing below is exempt.
+//
+//emx:coldpath
+func (s *q) formatPanic(n int) {
+	s.sink = n
+}
+
+// sink is an interface boundary: propagation deliberately does not
+// follow dynamic dispatch (a handler fan-out would mark everything
+// hot), so drop's allocation is not reported.
+type sink interface{ drop(int) }
+
+func (s *q) drop(n int) { s.sink = n }
+
+func dispatch(s sink, n int) { s.drop(n) }
+
+//emx:hotpath // want "unused //emx:hotpath directive"
+var depth int
+
+//emx:coldpath // want "unused //emx:coldpath directive"
+func neverHot() int { return depth }

@@ -1,0 +1,75 @@
+// Package obs exercises the obs-purity analyzer over a miniature
+// engine: everything reachable from this package's exported surface
+// (it is an .../obs package, so all exports are observability entry
+// points) must read simulated state without mutating it.
+package obs
+
+type Engine struct {
+	now    int64
+	events int
+}
+
+// Now is on the read-only allowlist.
+func (e *Engine) Now() int64 { return e.now }
+
+// post mutates the engine; calling it from obs-reachable code is the
+// bug this analyzer exists for. Advance makes it reachable, so the
+// write in its body is reported too.
+func (e *Engine) post(d int64) { e.now += d } // want "writes Engine state"
+
+// Snapshot only reads: clean.
+func Snapshot(e *Engine) int64 {
+	return e.Now()
+}
+
+// Advance mutates the engine straight from an entry point.
+func Advance(e *Engine) {
+	e.post(1) // want "calls mutating method post"
+}
+
+// Report delegates twice before the write, so the finding is two calls
+// deep and carries the chain from the entry point.
+func Report(e *Engine) int64 {
+	return tally(e)
+}
+
+func tally(e *Engine) int64 { return consume(e) }
+
+func consume(e *Engine) int64 {
+	e.events++ // want "writes Engine state"
+	return e.Now()
+}
+
+// Reset writes engine state but the site is audited.
+func Reset(e *Engine) {
+	e.now = 0    //emx:obsexempt audited: teardown between runs, never during one
+	e.events = 0 //emx:obsexempt audited: teardown between runs, never during one
+}
+
+// Probe charges simulated cycles from observability code: forbidden by
+// name, whatever the body does.
+func Probe(e *Engine) {
+	chargeProbe(e) // want "charges cycles via chargeProbe"
+}
+
+func chargeProbe(e *Engine) {}
+
+// hookFn is unexported, so only the //emx:obshook directive makes it an
+// entry point.
+//
+//emx:obshook
+func hookFn(e *Engine) {
+	e.now = 9 // want "writes Engine state"
+}
+
+var _ = hookFn
+
+//emx:obshook // want "unused //emx:obshook directive"
+var probes int
+
+var _ = probes
+
+//emx:obsexempt // want "unused //emx:obsexempt directive"
+func idle() {}
+
+var _ = idle

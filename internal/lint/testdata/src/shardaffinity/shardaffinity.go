@@ -1,0 +1,117 @@
+// Package shardaffinity exercises the single-shard-key rule: a
+// handler-reachable function may resolve state for at most one shard,
+// and cross-shard work goes through AtHandlerOn. The Engine type here
+// models the sim.Engine surface (the analyzer anchors on names and
+// shapes, not import paths, so the fixture stays self-contained).
+//
+//emx:determinism
+package shardaffinity
+
+type Engine struct{ now int64 }
+
+func (e *Engine) AtHandlerOn(target *Engine, d int64) {}
+func (e *Engine) Post(d int64)                        {}
+func (e *Engine) Now() int64                          { return e.now }
+
+type node struct {
+	engs   []*Engine
+	queues [][]int
+	owner  []int
+}
+
+type hop struct {
+	n        *node
+	src, dst int
+}
+
+// OnEvent is the handler entry point: everything it reaches runs on one
+// shard's engine.
+func (h *hop) OnEvent(seq uint64) {
+	_ = seq
+	h.deliver()
+	h.forward()
+	h.punt()
+	h.drain()
+	h.broadcast()
+}
+
+// deliver adds a level of indirection so the violation below is two
+// calls deep from the handler.
+func (h *hop) deliver() {
+	h.enqueue()
+}
+
+// enqueue resolves its own shard, then reaches across to the
+// destination's — the determinism bug shardaffinity exists for.
+func (h *hop) enqueue() {
+	sh := h.n.owner[h.src]
+	h.n.engs[sh].Post(1)
+	h.n.queues[sh] = append(h.n.queues[sh], h.src) // same key: fine
+	h.n.engs[h.n.owner[h.dst]].Post(1)             // want "cross-shard access in handler-reachable enqueue"
+}
+
+// forward stays on its own shard and hands the foreign engine to
+// AtHandlerOn: the sanctioned channel, no finding.
+func (h *hop) forward() {
+	sh := h.n.owner[h.src]
+	e := h.n.engs[sh]
+	e.Post(1)
+	dst := h.n.owner[h.dst]
+	e.AtHandlerOn(h.n.engs[dst], 3)
+}
+
+// schedule only passes its second engine through to the AtHandlerOn
+// target slot; the call summary records that, so punt below is clean
+// even though the foreign engine crosses a call boundary.
+func schedule(owner, tgt *Engine) {
+	owner.AtHandlerOn(tgt, 1)
+}
+
+// touch consumes its engine as state (summary: used).
+func touch(e *Engine) {
+	e.Post(1)
+}
+
+// punt resolves two shards but the foreign one only flows into the
+// sanctioned sink via schedule: clean.
+func (h *hop) punt() {
+	sh := h.n.owner[h.src]
+	mine := h.n.engs[sh]
+	touch(mine)
+	schedule(mine, h.n.engs[h.n.owner[h.dst]])
+}
+
+// drain touches shard 0's engine on every shard's behalf — audited, so
+// the escape hatch suppresses it.
+func (h *hop) drain() {
+	a := h.n.owner[h.src]
+	h.n.engs[a].Post(1)
+	h.n.engs[0].Post(1) //emx:crossshard audited: shard 0 aggregates drain totals
+}
+
+// broadcast iterates every shard's engine from handler context.
+func (h *hop) broadcast() {
+	for _, e := range h.n.engs { // want "iterates all engine shards"
+		e.Post(1)
+	}
+}
+
+// newNode wires all shards at construction time. It is not
+// handler-reachable, so multi-shard access here is legal.
+func newNode(engs []*Engine) *node {
+	n := &node{engs: engs, queues: make([][]int, len(engs))}
+	for i := range engs {
+		n.owner = append(n.owner, i%len(engs))
+	}
+	for _, e := range engs {
+		e.Post(0)
+	}
+	return n
+}
+
+var _ = newNode
+
+//emx:crossshard // want "unused //emx:crossshard directive"
+var spare int
+
+var _ = spare
