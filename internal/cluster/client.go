@@ -76,13 +76,62 @@ type Client struct {
 	opts    ClientOptions
 	http    *http.Client
 
-	attempts  *metrics.Counter
-	retries   *metrics.Counter
-	failovers *metrics.Counter
-	hedges    *metrics.Counter
-	hedgeWins *metrics.Counter
-	localRuns *metrics.Counter
-	nodeErrs  func(node string) *metrics.Counter
+	attempts    *metrics.Counter
+	retries     *metrics.Counter
+	failovers   *metrics.Counter
+	hedges      *metrics.Counter
+	hedgeWins   *metrics.Counter
+	hedgeLosses *metrics.Counter
+	localRuns   *metrics.Counter
+	nodeErrs    func(node string) *metrics.Counter
+}
+
+// Stats is a point-in-time snapshot of the client's per-attempt outcome
+// counters. Load generators diff two snapshots to report what the
+// failover machinery did during a run (the counters themselves also
+// expose via the Registry for /metrics).
+type Stats struct {
+	// Attempts counts every request issued to a member node, including
+	// retries and hedges.
+	Attempts uint64
+	// Retries counts attempts beyond the first for a request.
+	Retries uint64
+	// Failovers counts requests answered by a node other than the ring
+	// owner (including local-fallback rescues).
+	Failovers uint64
+	// Hedges counts hedged second attempts launched against slow owners;
+	// HedgeWins those answered before the owner, HedgeLosses those the
+	// owner beat anyway.
+	Hedges, HedgeWins, HedgeLosses uint64
+	// LocalFallbacks counts requests served by in-process execution
+	// after every remote candidate failed.
+	LocalFallbacks uint64
+}
+
+// Stats returns the client's current outcome counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:       c.attempts.Value(),
+		Retries:        c.retries.Value(),
+		Failovers:      c.failovers.Value(),
+		Hedges:         c.hedges.Value(),
+		HedgeWins:      c.hedgeWins.Value(),
+		HedgeLosses:    c.hedgeLosses.Value(),
+		LocalFallbacks: c.localRuns.Value(),
+	}
+}
+
+// Sub returns s - o field-wise: the outcomes between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Attempts:       s.Attempts - o.Attempts,
+		Retries:        s.Retries - o.Retries,
+		Failovers:      s.Failovers - o.Failovers,
+		Hedges:         s.Hedges - o.Hedges,
+		HedgeWins:      s.HedgeWins - o.HedgeWins,
+		HedgeLosses:    s.HedgeLosses - o.HedgeLosses,
+		LocalFallbacks: s.LocalFallbacks - o.LocalFallbacks,
+	}
 }
 
 // NewClient builds a client over the membership.
@@ -111,15 +160,16 @@ func NewClient(m *Membership, opts ClientOptions) *Client {
 		reg = metrics.NewRegistry()
 	}
 	return &Client{
-		members:   m,
-		opts:      opts,
-		http:      hc,
-		attempts:  reg.Counter("emxcluster_attempts_total", "request attempts issued to member nodes"),
-		retries:   reg.Counter("emxcluster_retries_total", "attempts beyond the first for a request"),
-		failovers: reg.Counter("emxcluster_failovers_total", "requests answered by a node other than the ring owner"),
-		hedges:    reg.Counter("emxcluster_hedges_total", "hedged second attempts launched against slow owners"),
-		hedgeWins: reg.Counter("emxcluster_hedge_wins_total", "hedged attempts that answered before the owner"),
-		localRuns: reg.Counter("emxcluster_local_fallback_total", "requests served by local in-process execution"),
+		members:     m,
+		opts:        opts,
+		http:        hc,
+		attempts:    reg.Counter("emxcluster_attempts_total", "request attempts issued to member nodes"),
+		retries:     reg.Counter("emxcluster_retries_total", "attempts beyond the first for a request"),
+		failovers:   reg.Counter("emxcluster_failovers_total", "requests answered by a node other than the ring owner"),
+		hedges:      reg.Counter("emxcluster_hedges_total", "hedged second attempts launched against slow owners"),
+		hedgeWins:   reg.Counter("emxcluster_hedge_wins_total", "hedged attempts that answered before the owner"),
+		hedgeLosses: reg.Counter("emxcluster_hedge_losses_total", "hedged attempts the owner answered ahead of"),
+		localRuns:   reg.Counter("emxcluster_local_fallback_total", "requests served by local in-process execution"),
 		nodeErrs: func(node string) *metrics.Counter {
 			return reg.Labeled("emxcluster_node_errors_total",
 				"failed attempts by member node", "node", node)
@@ -146,6 +196,14 @@ func (e errPermanent) Error() string {
 // 503 responses (queue backpressure) wait out the node's Retry-After
 // hint (capped) before the next candidate; 4xx responses return as-is.
 func (c *Client) Do(key, path string, body []byte) (*Result, error) {
+	return c.DoDeadline(key, path, body, time.Time{})
+}
+
+// DoDeadline is Do with a request deadline (zero: none). The deadline
+// rides every attempt as a DeadlineHeader so nodes can shed the request
+// once it expires, bounds each attempt's context, and stops the retry
+// loop: no attempt starts — and no backoff sleeps — past it.
+func (c *Client) DoDeadline(key, path string, body []byte, deadline time.Time) (*Result, error) {
 	candidates := c.candidates(key)
 	if len(candidates) == 0 && c.opts.Local == nil {
 		return nil, errors.New("cluster: no member nodes")
@@ -160,7 +218,13 @@ func (c *Client) Do(key, path string, body []byte) (*Result, error) {
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.retries.Inc()
-			c.sleepBackoff(key, i-1, lastErr)
+			c.sleepBackoff(key, i-1, lastErr, deadline)
+		}
+		if expired(deadline) {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("request deadline %s passed", deadline.Format(time.RFC3339Nano))
+			}
+			break
 		}
 		if len(candidates) == 0 {
 			break
@@ -171,9 +235,9 @@ func (c *Client) Do(key, path string, body []byte) (*Result, error) {
 			err error
 		)
 		if i == 0 && c.opts.HedgeDelay > 0 && len(candidates) > 1 {
-			res, err = c.hedged(key, path, body, candidates[0], candidates[1])
+			res, err = c.hedged(key, path, body, candidates[0], candidates[1], deadline)
 		} else {
-			res, err = c.attempt(node, path, body)
+			res, err = c.attempt(node, path, body, deadline)
 		}
 		if err == nil {
 			if res.Node != owner {
@@ -188,7 +252,7 @@ func (c *Client) Do(key, path string, body []byte) (*Result, error) {
 		lastErr = err
 	}
 
-	if c.opts.Local != nil {
+	if c.opts.Local != nil && !expired(deadline) {
 		c.localRuns.Inc()
 		res, err := c.local(path, body)
 		if err == nil && owner != "" {
@@ -197,6 +261,11 @@ func (c *Client) Do(key, path string, body []byte) (*Result, error) {
 		return res, err
 	}
 	return nil, fmt.Errorf("cluster: all %d attempts failed for %s: %w", attempts, path, lastErr)
+}
+
+// expired reports whether a nonzero deadline has passed.
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline) //emx:hostclock request deadlines are host wall-clock
 }
 
 // candidates orders the nodes to try: ranked healthy nodes first, then
@@ -220,8 +289,9 @@ func (c *Client) candidates(key string) []string {
 // deterministic jitter derived from the routing key (no host
 // randomness; different keys desynchronize naturally), stretched to a
 // node-requested Retry-After when the last failure was backpressure.
-// Every wait is capped by MaxRetryWait.
-func (c *Client) sleepBackoff(key string, round int, lastErr error) {
+// Every wait is capped by MaxRetryWait and never sleeps past the
+// request deadline (the loop sheds on wake instead).
+func (c *Client) sleepBackoff(key string, round int, lastErr error, deadline time.Time) {
 	d := c.opts.RetryBackoff << uint(round)
 	d += time.Duration(mix64(score(key, "jitter"+strconv.Itoa(round))) % uint64(c.opts.RetryBackoff))
 	var busy errBusy
@@ -230,6 +300,14 @@ func (c *Client) sleepBackoff(key string, round int, lastErr error) {
 	}
 	if d > c.opts.MaxRetryWait {
 		d = c.opts.MaxRetryWait
+	}
+	if !deadline.IsZero() {
+		if left := time.Until(deadline); left < d { //emx:hostclock request deadlines are host wall-clock
+			d = left
+		}
+	}
+	if d <= 0 {
+		return
 	}
 	time.Sleep(d) //emx:hostclock retry pacing against live nodes
 }
@@ -249,7 +327,7 @@ func (e errBusy) Error() string {
 // launches after HedgeDelay — or immediately when the owner's probed
 // queue is nearly full — and the first success wins. The loser's
 // attempt is cancelled via its context.
-func (c *Client) hedged(key, path string, body []byte, owner, backup string) (*Result, error) {
+func (c *Client) hedged(key, path string, body []byte, owner, backup string, deadline time.Time) (*Result, error) {
 	delay := c.opts.HedgeDelay
 	if full, _, ok := c.members.Load(owner); ok && full >= c.opts.HedgeQueueFraction {
 		delay = 0
@@ -264,7 +342,7 @@ func (c *Client) hedged(key, path string, body []byte, owner, backup string) (*R
 	}
 	results := make(chan outcome, 2)
 	try := func(node string, isBackup bool) {
-		res, err := c.attemptCtx(ctx, node, path, body)
+		res, err := c.attemptDeadline(ctx, node, path, body, deadline)
 		results <- outcome{res, err, isBackup}
 	}
 	go try(owner, false)
@@ -286,8 +364,12 @@ func (c *Client) hedged(key, path string, body []byte, owner, backup string) (*R
 		case out := <-results:
 			pending--
 			if out.err == nil {
-				if out.backup {
-					c.hedgeWins.Inc()
+				if launched {
+					if out.backup {
+						c.hedgeWins.Inc()
+					} else {
+						c.hedgeLosses.Inc()
+					}
 				}
 				return out.res, nil
 			}
@@ -313,16 +395,21 @@ func (c *Client) hedged(key, path string, body []byte, owner, backup string) (*R
 }
 
 // attempt issues one POST to one node.
-func (c *Client) attempt(node, path string, body []byte) (*Result, error) {
-	return c.attemptCtx(context.Background(), node, path, body)
+func (c *Client) attempt(node, path string, body []byte, deadline time.Time) (*Result, error) {
+	return c.attemptDeadline(context.Background(), node, path, body, deadline)
 }
 
-func (c *Client) attemptCtx(parent context.Context, node, path string, body []byte) (*Result, error) {
+func (c *Client) attemptDeadline(parent context.Context, node, path string, body []byte, deadline time.Time) (*Result, error) {
 	c.attempts.Inc()
 	ctx := parent
 	if c.opts.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(parent, c.opts.AttemptTimeout)
+		defer cancel()
+	}
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+path, bytes.NewReader(body))
@@ -331,6 +418,11 @@ func (c *Client) attemptCtx(parent context.Context, node, path string, body []by
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(service.ForwardedByHeader, "emxcluster")
+	if !deadline.IsZero() {
+		// The same decimal nanoseconds every hop sees: the gateway relays
+		// this header unchanged, and nodes shed the request once it passes.
+		req.Header.Set(service.DeadlineHeader, service.FormatDeadline(deadline))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		c.nodeErrs(node).Inc()

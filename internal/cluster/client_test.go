@@ -220,3 +220,94 @@ func TestClientLocalFallback(t *testing.T) {
 		t.Error("local scheduler executed nothing")
 	}
 }
+
+// TestClientStatsDeltas: Stats snapshots diff into the per-run outcome
+// counts load generators report.
+func TestClientStatsDeltas(t *testing.T) {
+	srv1, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	_ = srv1
+	m := NewMembership([]string{ts1.URL, ts2.URL}, MembershipOptions{})
+	c := NewClient(m, ClientOptions{RetryBackoff: time.Millisecond})
+
+	key := FigureKey("6a", hugeScale, 1)
+	before := c.Stats()
+	if _, err := c.Do(key, "/v1/figure", figureBody(t, "6a")); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Stats().Sub(before)
+	if d.Attempts != 1 || d.Retries != 0 || d.Failovers != 0 {
+		t.Fatalf("healthy-owner deltas: %+v", d)
+	}
+
+	// Kill the owner: the next request must retry and fail over, and
+	// the deltas must show exactly that.
+	owner := NewRing(m.Members()).Owner(key)
+	for _, ts := range []*httptest.Server{ts1, ts2} {
+		if ts.URL == owner {
+			ts.CloseClientConnections()
+			ts.Close()
+		}
+	}
+	before = c.Stats()
+	res, err := c.Do(key, "/v1/figure", figureBody(t, "6a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node == owner {
+		t.Fatalf("dead owner %s answered", owner)
+	}
+	d = c.Stats().Sub(before)
+	if d.Failovers != 1 || d.Retries == 0 {
+		t.Fatalf("dead-owner deltas: %+v", d)
+	}
+}
+
+// TestClientStampsDeadlineHeader: DoDeadline sends the absolute
+// deadline on every attempt in the exact FormatDeadline encoding, and
+// a zero deadline sends no header at all.
+func TestClientStampsDeadlineHeader(t *testing.T) {
+	var header atomic.Value
+	echo := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get(service.DeadlineHeader))
+		w.Write([]byte("{}"))
+	}))
+	t.Cleanup(echo.Close)
+	m := NewMembership([]string{echo.URL}, MembershipOptions{})
+	c := NewClient(m, ClientOptions{})
+
+	deadline := time.Now().Add(time.Hour) //emx:hostclock test fixture deadline
+	if _, err := c.DoDeadline("k", "/v1/run", []byte("{}"), deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := header.Load().(string), service.FormatDeadline(deadline); got != want {
+		t.Fatalf("deadline header = %q, want %q", got, want)
+	}
+
+	if _, err := c.Do("k", "/v1/run", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if got := header.Load().(string); got != "" {
+		t.Fatalf("zero deadline sent header %q", got)
+	}
+}
+
+// TestClientExpiredDeadlineFailsWithoutAttempt: a dead deadline stops
+// the client before any network traffic.
+func TestClientExpiredDeadlineFailsWithoutAttempt(t *testing.T) {
+	var hits atomic.Int64
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("{}"))
+	}))
+	t.Cleanup(node.Close)
+	m := NewMembership([]string{node.URL}, MembershipOptions{})
+	c := NewClient(m, ClientOptions{})
+
+	if _, err := c.DoDeadline("k", "/v1/run", []byte("{}"), time.Unix(1, 0)); err == nil {
+		t.Fatal("expired deadline succeeded")
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("expired request reached the node %d times", n)
+	}
+}

@@ -129,9 +129,12 @@ func (g *Gateway) writeError(w http.ResponseWriter, status int, err error) {
 
 // route sends body down the cluster client and relays the terminal
 // response — status, backpressure headers, and body — unchanged, so the
-// gateway is byte-transparent with respect to a single node.
-func (g *Gateway) route(w http.ResponseWriter, key, path string, body []byte) {
-	res, err := g.client.Do(key, path, body)
+// gateway is byte-transparent with respect to a single node. The
+// request's DeadlineHeader (absolute nanoseconds) is relayed unchanged
+// too: the client re-stamps the identical value on each routed attempt,
+// so the owning node sheds exactly when the original caller gives up.
+func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key, path string, body []byte) {
+	res, err := g.client.DoDeadline(key, path, body, service.RequestDeadline(r))
 	if err != nil {
 		g.writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: %w", err))
 		return
@@ -188,7 +191,7 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	g.route(w, ps.Key(scale), "/v1/run", body)
+	g.route(w, r, ps.Key(scale), "/v1/run", body)
 }
 
 // handleProfile routes a profiled point by the same RunIdentity hash
@@ -210,7 +213,7 @@ func (g *Gateway) handleProfile(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	g.route(w, ps.Key(scale), "/v1/profile", body)
+	g.route(w, r, ps.Key(scale), "/v1/profile", body)
 }
 
 // handleFigure routes a whole panel by its figure key: every run the
@@ -234,7 +237,7 @@ func (g *Gateway) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = g.opts.Seed
 	}
-	g.route(w, FigureKey(req.Fig, scale, seed), "/v1/figure", body)
+	g.route(w, r, FigureKey(req.Fig, scale, seed), "/v1/figure", body)
 }
 
 // ClusterStatus is the gateway's GET /v1/status: the membership view

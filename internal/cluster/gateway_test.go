@@ -304,3 +304,54 @@ func TestGatewayRoutesProfile(t *testing.T) {
 		t.Errorf("repeat routed to %s, first to %s", b, a)
 	}
 }
+
+// TestGatewayRelaysDeadlineHeader: the gateway forwards an incoming
+// X-Emx-Deadline to the owning node byte-for-byte unchanged, so the
+// node sheds exactly when the original caller gives up. An expired
+// deadline surfaces to the gateway's caller as the node's 503.
+func TestGatewayRelaysDeadlineHeader(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	body, err := json.Marshal(service.RunRequest{Workload: "fft", P: 4, H: 2, N: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Future deadline: served normally, header relayed intact.
+	deadline := time.Now().Add(time.Hour) //emx:hostclock test fixture deadline
+	req, err := http.NewRequest(http.MethodPost, tc.front.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(service.DeadlineHeader, service.FormatDeadline(deadline))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+
+	// The relay is exact: RequestDeadline(gateway request) re-encodes to
+	// the identical header value the client stamps on the routed hop.
+	relayed := service.FormatDeadline(service.RequestDeadline(req))
+	if relayed != service.FormatDeadline(deadline) {
+		t.Fatalf("gateway would re-stamp %q, caller sent %q", relayed, service.FormatDeadline(deadline))
+	}
+
+	// Expired deadline: the node sheds, and the gateway passes the 503 +
+	// Retry-After through untouched.
+	req, err = http.NewRequest(http.MethodPost, tc.front.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(service.DeadlineHeader, service.FormatDeadline(time.Unix(1, 0)))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline through gateway: status %d", resp.StatusCode)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"emx/internal/metrics"
 )
@@ -30,6 +31,13 @@ var ErrQueueFull = errors.New("labd: run queue full")
 
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("labd: scheduler closed")
+
+// ErrDeadlineExceeded is returned by DoDeadline when a request's
+// deadline expires before its simulation starts: the caller has already
+// given up, so executing (or waiting to execute) would burn a worker on
+// a result nobody reads. Shed load, like ErrQueueFull — retryable,
+// never an execution failure.
+var ErrDeadlineExceeded = errors.New("labd: request deadline exceeded before execution")
 
 // Source reports how a Do call obtained its result.
 type Source uint8
@@ -99,6 +107,9 @@ type Scheduler struct {
 	cacheHits      *metrics.Counter
 	coalescedHits  *metrics.Counter
 	rejected       *metrics.Counter
+	shed           func(reason string) *metrics.Counter
+	shedDeadline   *metrics.Counter
+	shedQueueFull  *metrics.Counter
 	workloadCycles func(label string) *metrics.Counter
 
 	// Host-throughput accounting: every executed run contributes its
@@ -117,6 +128,10 @@ type job struct {
 	done chan struct{}
 	run  *metrics.Run
 	err  error
+	// deadline, when nonzero, is the latest host time execution may
+	// usefully start; a job dequeued after it is shed unexecuted.
+	// Guarded by Scheduler.mu (coalescing extends it).
+	deadline time.Time
 }
 
 // New starts a scheduler and its worker pool.
@@ -149,6 +164,12 @@ func New(o Options) *Scheduler {
 	s.cacheHits = reg.Counter("emxd_runs_cache_hit_total", "requests served from the result cache")
 	s.coalescedHits = reg.Counter("emxd_runs_coalesced_total", "requests attached to an identical in-flight execution")
 	s.rejected = reg.Counter("emxd_runs_rejected_total", "requests rejected because the queue was full")
+	s.shed = func(reason string) *metrics.Counter {
+		return reg.Labeled("emxd_shed_requests_total",
+			"requests shed before execution, by reason", "reason", reason)
+	}
+	s.shedDeadline = s.shed("deadline")
+	s.shedQueueFull = s.shed("queue_full")
 	s.workloadCycles = func(label string) *metrics.Counter {
 		return reg.Labeled("emxd_workload_cycles_total",
 			"simulated machine cycles executed, by workload", "workload", label)
@@ -176,6 +197,17 @@ func New(o Options) *Scheduler {
 // available, except when the queue is full (ErrQueueFull) or the
 // scheduler is closed (ErrClosed). fn must be a pure function of key.
 func (s *Scheduler) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Run, Source, error) {
+	return s.DoDeadline(key, time.Time{}, fn)
+}
+
+// DoDeadline is Do with deadline-aware load shedding: a request whose
+// deadline (host wall-clock; zero means none) has already passed — or
+// passes while the job waits in the queue — is shed with
+// ErrDeadlineExceeded instead of executing. Cache hits are still
+// served: they cost nothing. Coalescing onto an in-flight job extends
+// that job's deadline to the latest waiter's, so an expiring request
+// never sheds work a patient one still wants.
+func (s *Scheduler) DoDeadline(key string, deadline time.Time, fn func() (*metrics.Run, error)) (*metrics.Run, Source, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -188,13 +220,21 @@ func (s *Scheduler) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Ru
 			return run, Cached, nil
 		}
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) { //emx:hostclock deadline-aware load shedding
+		s.mu.Unlock()
+		s.shedDeadline.Inc()
+		return nil, Executed, fmt.Errorf("%w (expired on admission)", ErrDeadlineExceeded)
+	}
 	if j, ok := s.inflight[key]; ok {
+		if !j.deadline.IsZero() && (deadline.IsZero() || deadline.After(j.deadline)) {
+			j.deadline = deadline
+		}
 		s.mu.Unlock()
 		s.coalescedHits.Inc()
 		<-j.done
 		return j.run, Coalesced, j.err
 	}
-	j := &job{key: key, fn: fn, done: make(chan struct{})}
+	j := &job{key: key, fn: fn, done: make(chan struct{}), deadline: deadline}
 	select {
 	case s.jobs <- j:
 		s.inflight[key] = j
@@ -202,6 +242,7 @@ func (s *Scheduler) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Ru
 	default:
 		s.mu.Unlock()
 		s.rejected.Inc()
+		s.shedQueueFull.Inc()
 		return nil, Executed, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.jobs))
 	}
 	<-j.done
@@ -211,6 +252,20 @@ func (s *Scheduler) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Ru
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
+		s.mu.Lock()
+		deadline := j.deadline
+		s.mu.Unlock()
+		if !deadline.IsZero() && time.Now().After(deadline) { //emx:hostclock deadline-aware load shedding
+			// The waiter has already given up: shed the run before it
+			// costs a worker anything.
+			j.err = fmt.Errorf("%w (queued past deadline)", ErrDeadlineExceeded)
+			s.mu.Lock()
+			delete(s.inflight, j.key)
+			s.mu.Unlock()
+			s.shedDeadline.Inc()
+			close(j.done)
+			continue
+		}
 		s.started.Inc()
 		j.run, j.err = j.fn()
 		s.mu.Lock()
@@ -263,9 +318,13 @@ func rate(count, nanos uint64) float64 {
 type Stats struct {
 	Started, Completed, Failed     uint64
 	CacheHits, Coalesced, Rejected uint64
-	QueueDepth, QueueCap           int
-	CacheLen, CacheCap             int
-	Workers                        int
+	// ShedDeadline counts requests shed because their deadline expired
+	// before execution (ErrDeadlineExceeded); queue-full sheds are
+	// Rejected.
+	ShedDeadline         uint64
+	QueueDepth, QueueCap int
+	CacheLen, CacheCap   int
+	Workers              int
 
 	// Host throughput over all executed runs (see Throughput for the
 	// derived rates). HostSeconds sums per-run wall-clock time, so with
@@ -278,20 +337,21 @@ type Stats struct {
 // Stats returns current operational counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Started:     s.started.Value(),
-		Completed:   s.completed.Value(),
-		Failed:      s.failed.Value(),
-		CacheHits:   s.cacheHits.Value(),
-		Coalesced:   s.coalescedHits.Value(),
-		Rejected:    s.rejected.Value(),
-		QueueDepth:  len(s.jobs),
-		QueueCap:    cap(s.jobs),
-		CacheLen:    s.CacheLen(),
-		CacheCap:    s.CacheCap(),
-		Workers:     s.workers,
-		SimCycles:   s.simCycles.Value(),
-		SimEvents:   s.simEvents.Value(),
-		HostSeconds: float64(s.hostNanos.Value()) / 1e9,
+		Started:      s.started.Value(),
+		Completed:    s.completed.Value(),
+		Failed:       s.failed.Value(),
+		CacheHits:    s.cacheHits.Value(),
+		Coalesced:    s.coalescedHits.Value(),
+		Rejected:     s.rejected.Value(),
+		ShedDeadline: s.shedDeadline.Value(),
+		QueueDepth:   len(s.jobs),
+		QueueCap:     cap(s.jobs),
+		CacheLen:     s.CacheLen(),
+		CacheCap:     s.CacheCap(),
+		Workers:      s.workers,
+		SimCycles:    s.simCycles.Value(),
+		SimEvents:    s.simEvents.Value(),
+		HostSeconds:  float64(s.hostNanos.Value()) / 1e9,
 	}
 }
 

@@ -280,3 +280,161 @@ func TestSourceString(t *testing.T) {
 		t.Fatal("unknown source name")
 	}
 }
+
+// TestDeadlineShedOnAdmission: an already-expired deadline is shed
+// before it costs anything — the simulator function never runs.
+func TestDeadlineShedOnAdmission(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ran := false
+	_, _, err := s.DoDeadline("k", time.Now().Add(-time.Second), func() (*metrics.Run, error) { //emx:hostclock test fixture
+		ran = true
+		return fakeRun("bitonic", 1), nil
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("expired request still executed")
+	}
+	if st := s.Stats(); st.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+// TestDeadlineShedWhenQueuedPastDeadline: a request admitted in time
+// but still queued when its deadline passes is shed at dequeue.
+func TestDeadlineShedWhenQueuedPastDeadline(t *testing.T) {
+	s := New(Options{Workers: 1, NoCache: true})
+	defer s.Close()
+	release := make(chan struct{})
+	blockerStarted := make(chan struct{})
+	go s.Do("blocker", func() (*metrics.Run, error) {
+		close(blockerStarted)
+		<-release
+		return fakeRun("bitonic", 1), nil
+	})
+	<-blockerStarted
+
+	ran := false
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoDeadline("victim", time.Now().Add(30*time.Millisecond), func() (*metrics.Run, error) { //emx:hostclock test fixture
+			ran = true
+			return fakeRun("fft", 1), nil
+		})
+		done <- err
+	}()
+	time.Sleep(80 * time.Millisecond) //emx:hostclock let the victim's deadline lapse in queue
+	close(release)
+	err := <-done
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("queued-past-deadline request still executed")
+	}
+	if st := s.Stats(); st.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+// TestDeadlineCacheHitDespiteExpiry: cache hits cost nothing, so an
+// expired request whose result is cached is served, not shed.
+func TestDeadlineCacheHitDespiteExpiry(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	if _, _, err := s.Do("k", func() (*metrics.Run, error) { return fakeRun("spmv", 1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	run, src, err := s.DoDeadline("k", time.Now().Add(-time.Second), func() (*metrics.Run, error) { //emx:hostclock test fixture
+		return nil, fmt.Errorf("must not execute")
+	})
+	if err != nil || src != Cached || run == nil {
+		t.Fatalf("cache hit shed: run=%v src=%v err=%v", run, src, err)
+	}
+	if st := s.Stats(); st.ShedDeadline != 0 {
+		t.Fatalf("ShedDeadline = %d, want 0", st.ShedDeadline)
+	}
+}
+
+// TestCoalesceExtendsDeadline: a patient waiter joining an in-flight
+// job lifts the job's deadline, so the earlier impatient caller's
+// deadline cannot shed work the patient one still wants.
+func TestCoalesceExtendsDeadline(t *testing.T) {
+	s := New(Options{Workers: 1, NoCache: true})
+	defer s.Close()
+	release := make(chan struct{})
+	blockerStarted := make(chan struct{})
+	go s.Do("blocker", func() (*metrics.Run, error) {
+		close(blockerStarted)
+		<-release
+		return fakeRun("bitonic", 1), nil
+	})
+	<-blockerStarted
+
+	// Impatient caller: queued with a deadline that will lapse.
+	first := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoDeadline("shared", time.Now().Add(30*time.Millisecond), func() (*metrics.Run, error) { //emx:hostclock test fixture
+			return fakeRun("fft", 1), nil
+		})
+		first <- err
+	}()
+	waitForInflight(t, s, "shared")
+
+	// Patient caller coalesces with no deadline, clearing the job's.
+	second := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do("shared", func() (*metrics.Run, error) { return fakeRun("fft", 1), nil })
+		second <- err
+	}()
+	waitForCoalesced(t, s, 1)
+
+	time.Sleep(80 * time.Millisecond) //emx:hostclock lapse the first caller's deadline
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("impatient caller: %v (job should have been kept alive)", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("patient caller: %v", err)
+	}
+	if st := s.Stats(); st.ShedDeadline != 0 {
+		t.Fatalf("ShedDeadline = %d, want 0", st.ShedDeadline)
+	}
+}
+
+func waitForInflight(t *testing.T, s *Scheduler, key string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		s.mu.Lock()
+		_, ok := s.inflight[key]
+		s.mu.Unlock()
+		if ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %q never became in-flight", key)
+		default:
+			time.Sleep(time.Millisecond) //emx:hostclock test polling
+		}
+	}
+}
+
+func waitForCoalesced(t *testing.T, s *Scheduler, n uint64) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if s.Stats().Coalesced >= n {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("never saw %d coalesced waiters: %+v", n, s.Stats())
+		default:
+			time.Sleep(time.Millisecond) //emx:hostclock test polling
+		}
+	}
+}

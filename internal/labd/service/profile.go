@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"emx/internal/harness"
 	"emx/internal/metrics"
@@ -123,7 +124,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 
 	pt, cached := s.prof.get(key)
 	if !cached {
-		pt, err = s.profilePoint(key, ps, scale, req.SliceCycles)
+		pt, err = s.profilePoint(key, ps, scale, req.SliceCycles, RequestDeadline(r))
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -158,9 +159,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 // invoking our function — a skipped execution collects no profile — so
 // the fallback re-executes inline against the same deterministic
 // simulation (byte-identical profile, just not pooled).
-func (s *Server) profilePoint(key string, ps harness.PointSpec, scale int, slice int64) (*harness.ProfiledPoint, error) {
+func (s *Server) profilePoint(key string, ps harness.PointSpec, scale int, slice int64, deadline time.Time) (*harness.ProfiledPoint, error) {
 	pc := harness.NewProfileCollector(harness.ObsOptions{SliceCycles: slice})
-	if _, _, err := s.sched.Do("profile/"+key, func() (*metrics.Run, error) {
+	if _, _, err := s.sched.DoDeadline("profile/"+key, deadline, func() (*metrics.Run, error) {
 		return pc.RunPointObserved(ps, scale)
 	}); err != nil {
 		return nil, err

@@ -32,6 +32,35 @@ import (
 // operator can tell direct traffic from cluster-routed traffic.
 const ForwardedByHeader = "X-Emx-Forwarded-By"
 
+// DeadlineHeader carries a request's absolute deadline as decimal
+// nanoseconds since the Unix epoch. cluster.Client stamps it from its
+// caller's deadline, the gateway relays it unchanged, and the labd
+// scheduler sheds any request still queued when it expires — so a
+// client that has given up never costs a worker an execution.
+const DeadlineHeader = "X-Emx-Deadline"
+
+// RequestDeadline parses r's DeadlineHeader. The zero time means no
+// deadline (absent or unparseable header: deadlines are best-effort
+// load shedding, not authentication — garbage degrades to "none").
+func RequestDeadline(r *http.Request) time.Time {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return time.Time{}
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ns <= 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// FormatDeadline renders a deadline for the DeadlineHeader.
+// FormatDeadline and RequestDeadline round-trip exactly, which is what
+// lets the gateway relay the header byte-for-byte.
+func FormatDeadline(deadline time.Time) string {
+	return strconv.FormatInt(deadline.UnixNano(), 10)
+}
+
 // Options configures a Server. Zero values select the harness defaults
 // (DefaultScale, seed 1) and labd's pool defaults.
 type Options struct {
@@ -226,6 +255,16 @@ type Throughput struct {
 	// target), so they live here with the other host-side rates.
 	QueueDepth    int     `json:"queue_depth"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	// HTTP request latency quantiles on this host, estimated by linear
+	// interpolation inside the fixed emxd_http_request_seconds buckets.
+	LatencyP50 float64 `json:"http_latency_p50_seconds"`
+	LatencyP95 float64 `json:"http_latency_p95_seconds"`
+	LatencyP99 float64 `json:"http_latency_p99_seconds"`
+
+	// ShedRequests counts requests shed before execution (deadline
+	// expiry; queue-full rejections are emxd_runs_rejected_total).
+	ShedRequests uint64 `json:"shed_requests_total"`
 }
 
 type errorResponse struct {
@@ -247,7 +286,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, labd.ErrQueueFull):
+	case errors.Is(err, labd.ErrQueueFull), errors.Is(err, labd.ErrDeadlineExceeded):
+		// Both are shed load, and both get the adaptive drain estimate: a
+		// deadline shed means the queue outlasted the client's patience,
+		// which is exactly when the retry hint matters most.
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	case errors.Is(err, labd.ErrClosed):
@@ -276,6 +318,27 @@ func (s *Server) retryAfterSeconds() int {
 	return secs
 }
 
+// deadlineExec binds one request's deadline onto every point a panel
+// sweep fans into, so a figure request that outlives its caller sheds
+// its remaining points instead of simulating them for nobody.
+type deadlineExec struct {
+	sched    *labd.Scheduler
+	deadline time.Time
+}
+
+func (e deadlineExec) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Run, labd.Source, error) {
+	return e.sched.DoDeadline(key, e.deadline, fn)
+}
+
+// executor returns the scheduler as a harness.Executor, deadline-bound
+// when the request carries one.
+func (s *Server) executor(deadline time.Time) harness.Executor {
+	if deadline.IsZero() {
+		return s.sched
+	}
+	return deadlineExec{sched: s.sched, deadline: deadline}
+}
+
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -299,7 +362,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	run, src, err := s.sched.Do(ps.Key(scale), func() (*metrics.Run, error) {
+	run, src, err := s.sched.DoDeadline(ps.Key(scale), RequestDeadline(r), func() (*metrics.Run, error) {
 		return harness.RunPoint(ps)
 	})
 	if err != nil {
@@ -438,7 +501,8 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	pr := harness.NewPanelRunner(harness.PanelOptions{Scale: scale, Seed: seed, Shards: shards}, s.sched)
+	pr := harness.NewPanelRunner(harness.PanelOptions{Scale: scale, Seed: seed, Shards: shards},
+		s.executor(RequestDeadline(r)))
 	figs, err := pr.Panel(name)
 	if err != nil {
 		s.writeError(w, err)
@@ -471,6 +535,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			EventsPerSecond: eps,
 			QueueDepth:      st.QueueDepth,
 			CacheHitRatio:   st.CacheHitRatio(),
+			LatencyP50:      s.latency.Quantile(0.50),
+			LatencyP95:      s.latency.Quantile(0.95),
+			LatencyP99:      s.latency.Quantile(0.99),
+			ShedRequests:    st.ShedDeadline,
 		},
 		Counters: s.sched.Registry().Snapshot(),
 	})

@@ -353,3 +353,92 @@ func TestRequestAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestDeadlineHeaderShedsExpiredRequests: a request carrying an
+// already-expired X-Emx-Deadline is shed with 503 + Retry-After, the
+// shed counter records the reason, and the run is never executed.
+func TestDeadlineHeaderShedsExpiredRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+	body, err := json.Marshal(RunRequest{Workload: "fft", P: 4, H: 2, N: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DeadlineHeader, FormatDeadline(time.Unix(1, 0)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if st := srv.Scheduler().Stats(); st.ShedDeadline != 1 || st.Started != 0 {
+		t.Fatalf("stats after shed: %+v", st)
+	}
+
+	// A garbage or absent deadline header must not shed anything.
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DeadlineHeader, "not-nanoseconds")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("garbage deadline header: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDeadlineHeaderRoundTrip: FormatDeadline and RequestDeadline are
+// exact inverses, which is what lets the gateway relay the header
+// byte-for-byte unchanged across hops.
+func TestDeadlineHeaderRoundTrip(t *testing.T) {
+	want := time.Unix(1754600000, 123456789)
+	r, err := http.NewRequest(http.MethodPost, "/v1/run", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Header.Set(DeadlineHeader, FormatDeadline(want))
+	got := RequestDeadline(r)
+	if !got.Equal(want) {
+		t.Fatalf("round trip: %v != %v", got, want)
+	}
+	if FormatDeadline(got) != FormatDeadline(want) {
+		t.Fatalf("re-format changed the header: %q vs %q", FormatDeadline(got), FormatDeadline(want))
+	}
+	if !RequestDeadline(&http.Request{Header: http.Header{}}).IsZero() {
+		t.Fatal("absent header should parse to zero time")
+	}
+}
+
+// TestStatusLatencyQuantiles: /v1/status reports p50/p95/p99 of the
+// HTTP latency histogram and the shed counter.
+func TestStatusLatencyQuantiles(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10}
+	postJSON(t, ts.URL+"/v1/run", req).Body.Close()
+	postJSON(t, ts.URL+"/v1/run", req).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := decode[StatusResponse](t, resp)
+	tp := status.Throughput
+	if tp.LatencyP50 <= 0 || tp.LatencyP95 <= 0 || tp.LatencyP99 <= 0 {
+		t.Fatalf("latency quantiles missing: p50=%v p95=%v p99=%v", tp.LatencyP50, tp.LatencyP95, tp.LatencyP99)
+	}
+	if tp.LatencyP50 > tp.LatencyP95 || tp.LatencyP95 > tp.LatencyP99 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", tp.LatencyP50, tp.LatencyP95, tp.LatencyP99)
+	}
+}

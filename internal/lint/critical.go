@@ -38,8 +38,10 @@ var (
 		"emx/internal/refalgo",
 		"emx/internal/labd",
 		"emx/internal/cluster",
+		"emx/internal/load",
 		"emx/cmd/emxbench",
 		"emx/cmd/emxcluster",
+		"emx/cmd/emxload",
 		"emx/cmd/emxprof",
 	}
 	simCorePrefixes = []string{

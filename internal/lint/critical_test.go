@@ -30,8 +30,10 @@ func TestCriticalTiers(t *testing.T) {
 		{"emx/internal/labd", true, false},
 		{"emx/internal/labd/service", true, false},
 		{"emx/internal/cluster", true, false}, // failover must be byte-transparent
+		{"emx/internal/load", true, false},    // seeded traffic, deterministic reports
 		{"emx/cmd/emxbench", true, false},
 		{"emx/cmd/emxcluster", true, false},
+		{"emx/cmd/emxload", true, false},
 
 		// Everything else is out of scope.
 		{"emx/internal/lint", false, false},

@@ -1,0 +1,250 @@
+package load
+
+import (
+	"bytes"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"emx/internal/cluster"
+	"emx/internal/labd"
+	"emx/internal/labd/service"
+)
+
+// hugeScale shrinks every panel to its minimum grid so lab-backed load
+// runs stay fast.
+const hugeScale = 1 << 20
+
+func newLabTarget(t *testing.T, nodes int) (*Lab, *cluster.Client) {
+	t.Helper()
+	lab, err := NewLab(nodes, service.Options{
+		Sched: labd.Options{Workers: 2, QueueSize: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lab.Close)
+	m := cluster.NewMembership(lab.URLs(), cluster.MembershipOptions{})
+	t.Cleanup(m.Close)
+	return lab, cluster.NewClient(m, cluster.ClientOptions{})
+}
+
+// TestSeedDeterminism is the tentpole acceptance check: the same seed
+// must produce a byte-identical report outside the host block, no
+// matter how many clients issue the traffic or how many OS threads the
+// runtime schedules them on.
+func TestSeedDeterminism(t *testing.T) {
+	runOnce := func(procs, clients int) []byte {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		lab, client := newLabTarget(t, 3)
+		rep, err := Run(client, lab, Options{
+			Mode:     "closed",
+			Requests: 30,
+			Clients:  clients,
+			Seed:     42,
+			Space:    DefaultSpace(hugeScale, 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Traffic.Errors != 0 {
+			t.Fatalf("run with %d clients saw %d errors", clients, rep.Traffic.Errors)
+		}
+		if rep.Host == nil || rep.Host.SLO["/v1/run"].P50Seconds < 0 {
+			t.Fatal("host SLO block missing")
+		}
+		// Config legitimately echoes the differing client counts; the
+		// traffic block is the part that must not see concurrency.
+		noHost := rep.WithoutHost()
+		noHost.Config.Clients = 0
+		var buf bytes.Buffer
+		if err := noHost.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := runOnce(1, 1)
+	parallel := runOnce(8, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("report depends on concurrency:\n--- GOMAXPROCS=1 clients=1 ---\n%s\n--- GOMAXPROCS=8 clients=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestChaosKillFailover kills the node that owns a known mid-run
+// request; the cluster client must absorb the loss (zero client-
+// visible errors) and the failover counters must show it happened.
+func TestChaosKillFailover(t *testing.T) {
+	lab, client := newLabTarget(t, 3)
+	gen, err := NewGenerator(42, DefaultSpace(hugeScale, 1), DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one client, global issue order is index order, so request 10
+	// is the 10th issued: killing its owner just before it is issued
+	// guarantees at least one failover.
+	owner := cluster.NewRing(lab.URLs()).Owner(gen.Request(10).Key)
+	victim := -1
+	for i, u := range lab.URLs() {
+		if u == owner {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("owner %s not a lab node", owner)
+	}
+	rep, err := Run(client, lab, Options{
+		Mode:     "closed",
+		Requests: 25,
+		Clients:  1,
+		Seed:     42,
+		Space:    DefaultSpace(hugeScale, 1),
+		Chaos:    []Step{{Action: "kill", Node: victim, AtRequest: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.Errors != 0 {
+		t.Fatalf("node kill leaked %d errors to the client", rep.Traffic.Errors)
+	}
+	if rep.Host.Client.Failovers == 0 {
+		t.Fatal("owner died mid-run but no failover was counted")
+	}
+	if rep.Chaos == nil || rep.Chaos.Fired != 1 {
+		t.Fatalf("chaos block wrong: %+v", rep.Chaos)
+	}
+}
+
+// TestChaosDelayAndRestart exercises the remaining fault actions and
+// the post-restart probe hook.
+func TestChaosDelayAndRestart(t *testing.T) {
+	lab, client := newLabTarget(t, 2)
+	probed := 0
+	rep, err := Run(client, lab, Options{
+		Mode:     "closed",
+		Requests: 16,
+		Clients:  2,
+		Seed:     3,
+		Space:    DefaultSpace(hugeScale, 1),
+		Chaos: []Step{
+			{Action: "delay", Node: 0, AtRequest: 2, DelayMS: 5},
+			{Action: "clear", Node: 0, AtRequest: 6},
+			{Action: "kill", Node: 1, AtRequest: 8},
+			{Action: "restart", Node: 1, AtRequest: 12},
+		},
+		Probe: func() { probed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.Errors != 0 {
+		t.Fatalf("fault schedule leaked %d errors", rep.Traffic.Errors)
+	}
+	if rep.Chaos.Fired != 4 || len(rep.Chaos.Errors) != 0 {
+		t.Fatalf("chaos block: %+v", rep.Chaos)
+	}
+	if probed != 1 {
+		t.Fatalf("restart probe hook ran %d times, want 1", probed)
+	}
+}
+
+// TestOpenLoopAndRamp drives the two rate-based modes end to end at a
+// high offered rate so the test stays fast.
+func TestOpenLoopAndRamp(t *testing.T) {
+	lab, client := newLabTarget(t, 2)
+	rep, err := Run(client, lab, Options{
+		Mode:     "open",
+		Requests: 12,
+		Rate:     200,
+		Seed:     5,
+		Space:    DefaultSpace(hugeScale, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.Issued != 12 || rep.Traffic.Errors != 0 {
+		t.Fatalf("open loop: %+v", rep.Traffic)
+	}
+	if rep.Config.RateRPS != 200 {
+		t.Fatalf("open config: %+v", rep.Config)
+	}
+
+	rep, err = Run(client, lab, Options{
+		Mode:      "ramp",
+		Requests:  6,
+		Seed:      5,
+		Space:     DefaultSpace(hugeScale, 1),
+		RampStart: 100,
+		RampStep:  100,
+		RampSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.Issued != 12 {
+		t.Fatalf("ramp issued %d, want 12", rep.Traffic.Issued)
+	}
+	if len(rep.Host.Ramp) != 2 {
+		t.Fatalf("ramp rows: %+v", rep.Host.Ramp)
+	}
+	for i, row := range rep.Host.Ramp {
+		if row.OfferedRPS != 100*float64(i+1) {
+			t.Fatalf("ramp row %d offered %v", i, row.OfferedRPS)
+		}
+	}
+}
+
+// TestDeadlineExpiredClientSide stamps an immediately-expiring
+// deadline on every request: the cluster client must give up without
+// attempting, and the run must account every request as an error.
+func TestDeadlineExpiredClientSide(t *testing.T) {
+	lab, client := newLabTarget(t, 1)
+	rep, err := Run(client, lab, Options{
+		Mode:     "closed",
+		Requests: 4,
+		Clients:  1,
+		Seed:     9,
+		Space:    DefaultSpace(hugeScale, 1),
+		Deadline: time.Nanosecond,
+		Mix:      Mix{Run: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.Errors != 4 {
+		t.Fatalf("expired deadlines should fail all 4 requests, got %+v", rep.Traffic)
+	}
+	if rep.Config.DeadlineMS != 0 {
+		t.Fatalf("sub-millisecond deadline rounds to 0 ms, got %d", rep.Config.DeadlineMS)
+	}
+}
+
+// TestDeadlineShedAtNode drives a request with an already-expired
+// DeadlineHeader straight at a lab node: the serving path must shed it
+// with 503 + Retry-After rather than burn a worker on it.
+func TestDeadlineShedAtNode(t *testing.T) {
+	lab, _ := newLabTarget(t, 1)
+	gen, err := NewGenerator(9, DefaultSpace(hugeScale, 1), Mix{Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genReq := gen.Request(0)
+	req, err := http.NewRequest(http.MethodPost, lab.URLs()[0]+genReq.Endpoint, bytes.NewReader(genReq.Body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(service.DeadlineHeader, service.FormatDeadline(time.Unix(1, 0)))
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline got %d, want 503", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+}

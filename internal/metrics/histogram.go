@@ -37,6 +37,57 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
 }
 
+// NewHistogram builds a standalone fixed-bucket histogram with the
+// given upper bounds — for callers (the load generator's SLO
+// accounting) that aggregate latencies outside a Registry.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation inside the fixed buckets: the
+// bucket containing the target rank is assumed uniform between its
+// lower and upper bound. Values in the +Inf bucket cannot be
+// interpolated, so any quantile landing there reports the highest
+// finite bound (the Prometheus convention). An empty histogram reports
+// 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, _, n := h.snapshot()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	for i, c := range cum {
+		// Skip buckets below the target rank — and empty leading buckets,
+		// so a rank of exactly 0 lands where the mass starts.
+		if float64(c) < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if i == len(h.bounds) { // +Inf bucket: no finite upper bound
+			return h.bounds[len(h.bounds)-1]
+		}
+		hi := h.bounds[i]
+		var prev uint64
+		if i > 0 {
+			prev = cum[i-1]
+		}
+		inBucket := float64(c - prev)
+		if inBucket == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/inBucket
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v

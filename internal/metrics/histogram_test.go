@@ -59,6 +59,55 @@ emx_test_total 4
 	}
 }
 
+// TestHistogramQuantileExact pins exact interpolated values: the
+// quantile estimator is fixed-bucket linear interpolation, so for a
+// known observation set every quantile is a closed-form number.
+func TestHistogramQuantileExact(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// 4 observations in (0,1], 2 in (1,2], 2 in (2,4]. Cumulative: 4, 6, 8.
+	for _, v := range []float64{0.2, 0.4, 0.6, 0.8, 1.5, 1.5, 3, 3} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},       // rank 0: bottom of the first bucket
+		{0.25, 0.5},  // rank 2 of 4 in (0,1] -> 0 + 1*(2/4)
+		{0.5, 1},     // rank 4: exactly the first bucket's upper bound
+		{0.625, 1.5}, // rank 5 of 2 in (1,2] -> 1 + 1*(1/2)
+		{0.75, 2},    // rank 6: second bucket's upper bound
+		{0.875, 3},   // rank 7 of 2 in (2,4] -> 2 + 2*(1/2)
+		{1, 4},       // rank 8: top finite bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	// Everything in +Inf: quantiles clamp to the highest finite bound.
+	h.Observe(50)
+	h.Observe(99)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%g) with +Inf-only mass = %g, want 10", q, got)
+		}
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(-1); got != 10 {
+		t.Errorf("Quantile(-1) = %g, want clamped to 10 (all mass in +Inf)", got)
+	}
+	if NewHistogram([]float64{1}).Quantile(2) != 0 {
+		t.Error("Quantile(2) on an empty histogram should be 0")
+	}
+}
+
 func TestHistogramSnapshotEntries(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("emx_lat_seconds", "lat", []float64{1})
