@@ -64,6 +64,7 @@ func run(args []string, stderr io.Writer, start func(addr string, h http.Handler
 		scale   = fs.Int("scale", harness.DefaultScale, "default scale-down factor; MUST match the nodes' -scale")
 		seed    = fs.Int64("seed", 1, "default input seed; MUST match the nodes' -seed")
 		local   = fs.Bool("local", false, "serve in-process when every node is unreachable")
+		reps    = fs.Int("replicas", 1, "nodes' run-cache replication factor; failover tries that many ranked peers before recomputing")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: emxcluster -nodes http://a:8484,http://b:8484 [flags]")
@@ -97,12 +98,17 @@ func run(args []string, stderr io.Writer, start func(addr string, h http.Handler
 		fmt.Fprintln(stderr, "emxcluster: durations must be >= 0")
 		return 2
 	}
+	if *reps < 1 {
+		fmt.Fprintf(stderr, "emxcluster: -replicas must be >= 1, got %d\n", *reps)
+		return 2
+	}
 
 	m := cluster.NewMembership(urls, cluster.MembershipOptions{ProbeInterval: *probe})
 	copts := cluster.ClientOptions{
 		AttemptTimeout: *timeout,
 		Retries:        *retries,
 		HedgeDelay:     *hedge,
+		Replicas:       *reps,
 	}
 	if *retries == 0 {
 		copts.Retries = -1 // ClientOptions uses -1 for explicit zero

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +47,10 @@ func main() {
 		scale   = flag.Int("scale", harness.DefaultScale, "default scale-down factor for requests that omit one")
 		seed    = flag.Int64("seed", 1, "default input generator seed")
 		shards  = flag.Int("shards", 0, "default engine shards per simulation (0 = auto, 1 = single engine)")
+
+		replicas = flag.Int("replicas", 1, "run-cache replication factor across the peer set (1 = off)")
+		self     = flag.String("self", "", "this node's base URL as peers address it (required with -replicas > 1)")
+		peersStr = flag.String("peers", "", "comma-separated peer base URLs, including -self (required with -replicas > 1)")
 	)
 	flag.Parse()
 	if *queue < 1 || *cache < 1 || *scale < 1 {
@@ -60,12 +65,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emxd: -shards must be 0, 1, or a power of two")
 		os.Exit(2)
 	}
+	var peers []string
+	if *peersStr != "" {
+		peers = strings.Split(*peersStr, ",")
+	}
+	if *replicas > 1 && (*self == "" || len(peers) < 2) {
+		fmt.Fprintln(os.Stderr, "emxd: -replicas > 1 needs -self and at least two -peers")
+		os.Exit(2)
+	}
 
 	srv := service.New(service.Options{
 		Scale:  *scale,
 		Seed:   *seed,
 		Shards: *shards,
 		Sched:  labd.Options{Workers: *workers, QueueSize: *queue, CacheSize: *cache},
+		Replication: service.ReplicationOptions{
+			Replicas: *replicas,
+			Self:     *self,
+			Peers:    peers,
+		},
 	})
 	defer srv.Close()
 

@@ -52,7 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nodesStr = fs.String("nodes", "", "comma-separated external emxd base URLs (default: in-process lab)")
 		scale    = fs.Int("scale", 1<<20, "simulation scale stamped into every request")
 		runSeed  = fs.Int64("run-seed", 1, "simulation input seed stamped into every request")
-		chaosStr = fs.String("chaos", "", `fault schedule, e.g. "kill:1@10,restart:1@40" or JSON (lab only)`)
+		chaosStr = fs.String("chaos", "", `fault schedule, e.g. "kill:1@10,restart:1@40" or "kill:owner@10" or JSON (lab only)`)
+		replicas = fs.Int("replicas", 1, "cache replication factor across lab nodes (1: off; lab only)")
 		format   = fs.String("format", "text", "report format: text or json")
 		hedge    = fs.Duration("hedge", 0, "hedge a second attempt after this delay (0: off)")
 		retries  = fs.Int("retries", 2, "failover retries per request")
@@ -90,10 +91,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "emxload: -chaos requires the in-process lab (drop -nodes)")
 			return 2
 		}
+		if *replicas > 1 {
+			fmt.Fprintln(stderr, "emxload: -replicas requires the in-process lab (drop -nodes)")
+			return 2
+		}
 		urls = strings.Split(*nodesStr, ",")
 	} else {
 		lab, err = load.NewLab(*local, service.Options{
-			Sched: labd.Options{Workers: 2, QueueSize: 256},
+			Sched:       labd.Options{Workers: 2, QueueSize: 256},
+			Replication: service.ReplicationOptions{Replicas: *replicas},
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "emxload: %v\n", err)
@@ -109,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	client := cluster.NewClient(members, cluster.ClientOptions{
 		Retries:    *retries,
 		HedgeDelay: *hedge,
+		Replicas:   *replicas,
 	})
 
 	logf := func(f string, a ...any) { fmt.Fprintf(stderr, "emxload: "+f+"\n", a...) }

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"emx/internal/lint"
 )
 
 func TestExitCodes(t *testing.T) {
@@ -114,6 +117,61 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	if got := run([]string{"-only", "hotpropagate", "-baseline", bad, target}); got != 2 {
 		t.Errorf("malformed-baseline run exit = %d, want 2", got)
+	}
+}
+
+// TestBaselinePackageKey pins the package component of the baseline
+// key: two fixture packages produce findings with identical analyzer,
+// file basename, and message, so only the import path tells them
+// apart. A baseline saved from one package must suppress that package
+// alone — and a legacy baseline whose rows predate the package field
+// must keep matching findings from any package.
+func TestBaselinePackageKey(t *testing.T) {
+	alpha := "emx/internal/lint/testdata/src/baselinetwin/alpha"
+	beta := "emx/internal/lint/testdata/src/baselinetwin/beta"
+	saved := capture(t, func() {
+		if got := run([]string{"-json", "-only", "hotalloc", alpha}); got != 1 {
+			t.Fatalf("seed run on alpha exit = %d, want 1", got)
+		}
+	})
+	if !strings.Contains(saved, `"package": "`+alpha+`"`) {
+		t.Fatalf("saved run carries no package field:\n%s", saved)
+	}
+
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(baseline, []byte(saved), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-only", "hotalloc", "-baseline", baseline, alpha}); got != 0 {
+		t.Errorf("alpha's baseline should suppress alpha, exit = %d", got)
+	}
+	if got := run([]string{"-only", "hotalloc", "-baseline", baseline, beta}); got != 1 {
+		t.Errorf("alpha's baseline must NOT suppress beta's identical-looking finding, exit = %d", got)
+	}
+
+	// Strip the package field to simulate a baseline saved before
+	// diagnostics carried one: legacy rows match any package.
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(saved), &diags); err != nil {
+		t.Fatal(err)
+	}
+	for i := range diags {
+		diags[i].Package = ""
+	}
+	stripped, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-only", "hotalloc", "-baseline", legacy, alpha}); got != 0 {
+		t.Errorf("legacy baseline should still suppress alpha, exit = %d", got)
+	}
+	if got := run([]string{"-only", "hotalloc", "-baseline", legacy, beta}); got != 0 {
+		t.Errorf("legacy baseline should suppress beta too (no package to pin), exit = %d", got)
 	}
 }
 

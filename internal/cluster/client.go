@@ -14,6 +14,7 @@ import (
 	"emx/internal/harness"
 	"emx/internal/labd/service"
 	"emx/internal/metrics"
+	"emx/internal/ring"
 )
 
 // ClientOptions tunes the failover policy. The zero value is usable:
@@ -26,6 +27,11 @@ type ClientOptions struct {
 	// Retries is how many additional attempts follow a failed first one,
 	// each against the next-ranked candidate node (default 2).
 	Retries int
+	// Replicas is the cluster's cache replication factor (R). When set
+	// above Retries+1 it raises the attempt budget so failover walks the
+	// whole replica set — a cached result on any surviving replica is
+	// always preferred over a local recompute.
+	Replicas int
 	// RetryBackoff is the base delay between attempt rounds; round i
 	// waits RetryBackoff * 2^i plus a deterministic jitter derived from
 	// the routing key (default 100ms).
@@ -215,6 +221,11 @@ func (c *Client) DoDeadline(key, path string, body []byte, deadline time.Time) (
 
 	var lastErr error
 	attempts := c.opts.Retries + 1
+	if c.opts.Replicas > attempts {
+		// Walk the full replica set before giving up: any surviving
+		// replica serves the cached bytes; recompute is the last resort.
+		attempts = c.opts.Replicas
+	}
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.retries.Inc()
@@ -293,7 +304,7 @@ func (c *Client) candidates(key string) []string {
 // request deadline (the loop sheds on wake instead).
 func (c *Client) sleepBackoff(key string, round int, lastErr error, deadline time.Time) {
 	d := c.opts.RetryBackoff << uint(round)
-	d += time.Duration(mix64(score(key, "jitter"+strconv.Itoa(round))) % uint64(c.opts.RetryBackoff))
+	d += time.Duration(ring.Mix64(ring.Score(key, "jitter"+strconv.Itoa(round))) % uint64(c.opts.RetryBackoff))
 	var busy errBusy
 	if errors.As(lastErr, &busy) && busy.retryAfter > d {
 		d = busy.retryAfter
@@ -425,13 +436,26 @@ func (c *Client) attemptDeadline(parent context.Context, node, path string, body
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		if parent.Err() != nil {
+			// The parent context was canceled — the hedge race resolved
+			// elsewhere, or the caller gave up. The abort says nothing
+			// about this node's health, so don't poison the membership
+			// view or the per-node error counters with it.
+			return nil, fmt.Errorf("node %s: attempt canceled: %w", node, parent.Err())
+		}
 		c.nodeErrs(node).Inc()
 		c.members.MarkFailure(node, err)
 		return nil, fmt.Errorf("node %s: %w", node, err)
 	}
+	// Always drain and close the body — including a hedge loser's — so
+	// the transport can reuse the connection instead of leaking it under
+	// sustained hedging.
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
+		if parent.Err() != nil {
+			return nil, fmt.Errorf("node %s: attempt canceled: %w", node, parent.Err())
+		}
 		c.nodeErrs(node).Inc()
 		c.members.MarkFailure(node, err)
 		return nil, fmt.Errorf("node %s: reading response: %w", node, err)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -188,6 +189,115 @@ func TestClientHedgesSlowOwner(t *testing.T) {
 	snap := reg.Snapshot()
 	if snap["emxcluster_hedges_total"] == 0 || snap["emxcluster_hedge_wins_total"] == 0 {
 		t.Errorf("hedge counters not moved: %v", snap)
+	}
+}
+
+// trackedBody counts Close calls so the test can prove every response
+// body the transport handed out — hedge losers included — was closed.
+type trackedBody struct {
+	io.ReadCloser
+	closed *atomic.Int64
+}
+
+func (b trackedBody) Close() error {
+	b.closed.Add(1)
+	return b.ReadCloser.Close()
+}
+
+// trackedTransport wraps the default transport and counts the response
+// bodies it opens and the ones callers close.
+type trackedTransport struct {
+	opened, closed atomic.Int64
+}
+
+func (tt *trackedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if resp != nil {
+		tt.opened.Add(1)
+		resp.Body = trackedBody{resp.Body, &tt.closed}
+	}
+	return resp, err
+}
+
+// TestClientHedgeLoserDrainedAndUnpoisoned is the regression test for
+// two hedging bugs: the loser's response body leaking (never drained or
+// closed, pinning its pooled connection) under sustained hedging, and
+// a canceled hedge loser being counted as a node failure — marking a
+// healthy-but-slower node down and skewing its error counters. It also
+// pins the win/loss accounting when both attempts complete: exactly one
+// of the two is recorded per hedged request.
+func TestClientHedgeLoserDrainedAndUnpoisoned(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(10 * time.Millisecond): //emx:hostclock test fixture: slower-but-alive owner
+		case <-r.Context().Done():
+			return
+		}
+		w.Write([]byte(`{"slow":true}`))
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"fast":true}`))
+	}))
+	defer fast.Close()
+
+	m := NewMembership([]string{slow.URL, fast.URL}, MembershipOptions{})
+	reg := metrics.NewRegistry()
+	tt := &trackedTransport{}
+	c := NewClient(m, ClientOptions{
+		Registry:     reg,
+		RetryBackoff: time.Millisecond,
+		HedgeDelay:   time.Millisecond,
+		HTTPClient:   &http.Client{Transport: tt},
+	})
+
+	// A key the slow node owns, so every request hedges to the fast one.
+	ring := NewRing(m.Members())
+	key := "k0"
+	for i := 0; ring.Owner(key) != slow.URL && i < 10000; i++ {
+		key = "k" + string(rune('a'+i%26)) + key
+	}
+	if ring.Owner(key) != slow.URL {
+		t.Fatal("could not construct a key owned by the slow node")
+	}
+
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		res, err := c.Do(key, "/v1/run", []byte(`{}`))
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, res.Status)
+		}
+	}
+
+	// Losers finish (or get canceled) asynchronously after each winner
+	// returns; give their goroutines a moment to close their bodies.
+	deadline := time.Now().Add(2 * time.Second)                              //emx:hostclock test polling bound
+	for tt.closed.Load() < tt.opened.Load() && time.Now().Before(deadline) { //emx:hostclock
+		time.Sleep(time.Millisecond) //emx:hostclock
+	}
+	if opened, closed := tt.opened.Load(), tt.closed.Load(); closed != opened {
+		t.Errorf("response bodies leaked: %d opened, %d closed", opened, closed)
+	}
+
+	// The slow owner answered everything it wasn't canceled out of:
+	// losing a hedge race must not poison its health or error counters.
+	if !m.IsHealthy(slow.URL) {
+		t.Error("hedge-losing owner marked unhealthy")
+	}
+	snap := reg.Snapshot()
+	if errs := snap[`emxcluster_node_errors_total{node="`+slow.URL+`"}`]; errs != 0 {
+		t.Errorf("hedge-loser cancellations counted as %v node errors", errs)
+	}
+	s := c.Stats()
+	if s.Hedges == 0 {
+		t.Fatal("no hedges launched")
+	}
+	if s.HedgeWins+s.HedgeLosses != s.Hedges {
+		t.Errorf("win/loss accounting drifted: hedges=%d wins=%d losses=%d",
+			s.Hedges, s.HedgeWins, s.HedgeLosses)
 	}
 }
 

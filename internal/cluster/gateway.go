@@ -248,6 +248,7 @@ type ClusterStatus struct {
 	Healthy       int                `json:"healthy"`
 	DefaultScale  int                `json:"default_scale"`
 	DefaultSeed   int64              `json:"default_seed"`
+	Replicas      int                `json:"replicas,omitempty"`
 	Nodes         []NodeStatus       `json:"nodes"`
 	Counters      map[string]float64 `json:"counters"`
 }
@@ -269,6 +270,7 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Healthy:       healthy,
 		DefaultScale:  g.opts.Scale,
 		DefaultSeed:   g.opts.Seed,
+		Replicas:      g.opts.Client.Replicas,
 		Nodes:         nodes,
 		Counters:      g.reg.Snapshot(),
 	})

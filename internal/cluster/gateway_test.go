@@ -133,6 +133,130 @@ func TestGatewayFailoverSweep(t *testing.T) {
 	}
 }
 
+// newReplicatedCluster is newTestCluster with R-way cache replication:
+// peer URLs only exist once every backend listens, so the replica ring
+// reaches each node via SetPeers after construction.
+func newReplicatedCluster(t *testing.T, n, replicas int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := service.New(service.Options{
+			Scale:       hugeScale,
+			Seed:        1,
+			Replication: service.ReplicationOptions{Replicas: replicas},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		tc.servers = append(tc.servers, srv)
+		tc.backends = append(tc.backends, ts)
+		urls[i] = ts.URL
+	}
+	for i, srv := range tc.servers {
+		srv.SetPeers(urls[i], urls)
+	}
+	tc.members = NewMembership(urls, MembershipOptions{})
+	tc.members.ProbeAll()
+	tc.gateway = NewGateway(tc.members, GatewayOptions{
+		Scale:  hugeScale,
+		Seed:   1,
+		Client: ClientOptions{RetryBackoff: time.Millisecond, Replicas: replicas},
+	})
+	tc.front = httptest.NewServer(tc.gateway.Handler())
+	t.Cleanup(tc.front.Close)
+	return tc
+}
+
+// TestGatewayReplicatedSweepOwnerKill is the tentpole acceptance test:
+// a 3-node gateway sweep with R=2 replication is byte-identical to
+// single-node output, and killing a panel's owner between sweeps costs
+// zero recomputations — every previously cached point is served from a
+// replica copy (pushed or peer-filled), asserted via the survivors'
+// execution counters.
+func TestGatewayReplicatedSweepOwnerKill(t *testing.T) {
+	// Single-node baseline.
+	_, solo := newNode(t)
+	baseline := map[string][]byte{}
+	for _, fig := range sweepPanels {
+		resp, b := postFigure(t, solo.URL, fig)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline %s: HTTP %d", fig, resp.StatusCode)
+		}
+		baseline[fig] = b
+	}
+
+	tc := newReplicatedCluster(t, 3, 2)
+	for _, fig := range sweepPanels {
+		resp, b := postFigure(t, tc.front.URL, fig)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replicated sweep %s: HTTP %d: %s", fig, resp.StatusCode, b)
+		}
+		if !bytes.Equal(b, baseline[fig]) {
+			t.Fatalf("replicated panel %s differs from single-node output", fig)
+		}
+	}
+	for i, srv := range tc.servers {
+		if !srv.FlushReplication(5 * time.Second) {
+			t.Fatalf("node %d replication queue did not drain", i)
+		}
+	}
+
+	// Kill the owner of a panel it served in the first sweep. Its cache
+	// dies with it; only the pushed replica copies remain.
+	victim := NewRing(tc.members.Members()).Owner(FigureKey(sweepPanels[0], hugeScale, 1))
+	victimIdx := -1
+	for i, b := range tc.backends {
+		if b.URL == victim {
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatalf("owner %s is not a backend", victim)
+	}
+	tc.backends[victimIdx].Close()
+
+	survivorRuns := func() uint64 {
+		var total uint64
+		for i, srv := range tc.servers {
+			if i != victimIdx {
+				total += srv.Scheduler().RunsExecuted()
+			}
+		}
+		return total
+	}
+	before := survivorRuns()
+
+	// Full re-sweep: byte-identical again, zero new executions — the
+	// dead owner's panels are reassembled entirely from replica copies.
+	for _, fig := range sweepPanels {
+		resp, b := postFigure(t, tc.front.URL, fig)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-kill sweep %s: HTTP %d: %s", fig, resp.StatusCode, b)
+		}
+		if !bytes.Equal(b, baseline[fig]) {
+			t.Fatalf("post-kill panel %s differs from single-node output", fig)
+		}
+	}
+	if got := survivorRuns(); got != before {
+		t.Fatalf("owner kill recomputed %d previously cached points", got-before)
+	}
+	var fills, stores float64
+	for i, srv := range tc.servers {
+		if i == victimIdx {
+			continue
+		}
+		snap := srv.Registry().Snapshot()
+		fills += snap["emxd_cache_replica_fills_total"]
+		stores += snap["emxd_cache_replica_stores_total"]
+	}
+	if stores == 0 {
+		t.Error("survivors accepted no replica pushes")
+	}
+	if fills == 0 {
+		t.Error("no peer fills despite a failed-over panel sweep")
+	}
+}
+
 // TestGatewayShardsRunCaches: single points route by RunIdentity hash,
 // so each run executes on exactly one node and repeats are cache hits
 // on that owner — the LRU caches shard instead of duplicating.

@@ -16,110 +16,14 @@
 // given run identity.
 package cluster
 
-import (
-	"hash/fnv"
-	"sort"
-)
+import "emx/internal/ring"
 
-// Ring is a rendezvous-hashing (highest-random-weight) ring over a
-// fixed member set. Each (member, key) pair gets a pseudo-random score;
-// a key's owner is the member with the highest score. When one member
-// departs, only the keys it owned move (each to its second-ranked
-// member) — every other key keeps its owner, which is what keeps the
-// sharded run caches warm across membership changes.
-//
-// A Ring is immutable after construction and safe for concurrent use.
-type Ring struct {
-	members []string // sorted, deduplicated
-}
+// Ring is the rendezvous-hashing ring the cluster routes by. The
+// implementation lives in internal/ring so the replication layer
+// (internal/labd/service) ranks replica sets with the identical hash;
+// this alias keeps the cluster-level API unchanged.
+type Ring = ring.Ring
 
 // NewRing builds a ring over the given member identifiers (node base
-// URLs). Members are deduplicated and sorted, so rings built from the
-// same set in any order behave identically.
-func NewRing(members []string) *Ring {
-	seen := make(map[string]bool, len(members))
-	ms := make([]string, 0, len(members))
-	for _, m := range members {
-		if m != "" && !seen[m] {
-			seen[m] = true
-			ms = append(ms, m)
-		}
-	}
-	sort.Strings(ms)
-	return &Ring{members: ms}
-}
-
-// Members returns the ring's member set in sorted order.
-func (r *Ring) Members() []string {
-	out := make([]string, len(r.members))
-	copy(out, r.members)
-	return out
-}
-
-// Len returns the number of members.
-func (r *Ring) Len() int { return len(r.members) }
-
-// score is the HRW weight of key on member: a 64-bit FNV-1a hash over
-// member and key with a fixed separator, passed through a full-avalanche
-// finalizer. The finalizer matters: FNV alone leaves the high bits of
-// similar inputs correlated, which skews HRW's argmax badly.
-// Deterministic across processes, hosts, and Go versions (unlike map
-// iteration or the runtime's seeded string hash).
-func score(member, key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(member))
-	h.Write([]byte{0})
-	h.Write([]byte(key))
-	return mix64(h.Sum64())
-}
-
-// mix64 is the 64-bit finalizer from MurmurHash3: every input bit
-// avalanches to every output bit.
-func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
-}
-
-// Owner returns the member that owns key, or "" for an empty ring.
-func (r *Ring) Owner(key string) string {
-	var (
-		best      string
-		bestScore uint64
-	)
-	for _, m := range r.members {
-		if s := score(m, key); best == "" || s > bestScore || (s == bestScore && m < best) {
-			best, bestScore = m, s
-		}
-	}
-	return best
-}
-
-// Ranked returns every member ordered by descending preference for
-// key: the owner first, then the member each successive failover
-// falls to. Ties break toward the lexicographically smaller member so
-// the order is total and deterministic.
-func (r *Ring) Ranked(key string) []string {
-	type ms struct {
-		m string
-		s uint64
-	}
-	scored := make([]ms, len(r.members))
-	for i, m := range r.members {
-		scored[i] = ms{m, score(m, key)}
-	}
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].s != scored[j].s {
-			return scored[i].s > scored[j].s
-		}
-		return scored[i].m < scored[j].m
-	})
-	out := make([]string, len(scored))
-	for i, e := range scored {
-		out[i] = e.m
-	}
-	return out
-}
+// URLs). See ring.New.
+func NewRing(members []string) *Ring { return ring.New(members) }

@@ -15,9 +15,11 @@ package labd
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,6 +52,10 @@ const (
 	// Coalesced: an identical request was already in flight; this call
 	// shared its single execution.
 	Coalesced
+	// Replicated: a cache miss was served by the Fill hook — another
+	// node's byte-identical copy of the content-addressed result — with
+	// zero local executions.
+	Replicated
 )
 
 func (s Source) String() string {
@@ -60,6 +66,8 @@ func (s Source) String() string {
 		return "cached"
 	case Coalesced:
 		return "coalesced"
+	case Replicated:
+		return "replicated"
 	}
 	return fmt.Sprintf("source(%d)", uint8(s))
 }
@@ -80,6 +88,19 @@ type Options struct {
 	// Registry receives the scheduler's operational counters; a private
 	// registry is created when nil.
 	Registry *metrics.Registry
+	// Fill, when set, is consulted on a cache miss before a run is
+	// scheduled for execution: a replication layer can fetch the
+	// byte-identical content-addressed result from a peer replica. It is
+	// called without the scheduler lock held (it is expected to do
+	// network I/O, bounded by deadline; zero means no bound) and returns
+	// nil on a miss. A non-nil result is installed in the cache and
+	// served with Source Replicated.
+	Fill func(key string, deadline time.Time) *metrics.Run
+	// OnFill, when set, is invoked after an executed result is inserted
+	// into the cache — the replication push trigger. Called from the
+	// worker goroutine without the scheduler lock held; it must not
+	// block (enqueue and return).
+	OnFill func(key string, run *metrics.Run)
 }
 
 const (
@@ -93,6 +114,8 @@ const (
 type Scheduler struct {
 	workers int
 	jobs    chan *job
+	fill    func(key string, deadline time.Time) *metrics.Run
+	onFill  func(key string, run *metrics.Run)
 
 	mu       sync.Mutex
 	inflight map[string]*job
@@ -106,10 +129,13 @@ type Scheduler struct {
 	failed         *metrics.Counter
 	cacheHits      *metrics.Counter
 	coalescedHits  *metrics.Counter
+	filled         *metrics.Counter
 	rejected       *metrics.Counter
 	shed           func(reason string) *metrics.Counter
 	shedDeadline   *metrics.Counter
 	shedQueueFull  *metrics.Counter
+	shedAbandoned  *metrics.Counter
+	shedCanceled   *metrics.Counter
 	workloadCycles func(label string) *metrics.Counter
 
 	// Host-throughput accounting: every executed run contributes its
@@ -128,10 +154,56 @@ type job struct {
 	done chan struct{}
 	run  *metrics.Run
 	err  error
-	// deadline, when nonzero, is the latest host time execution may
-	// usefully start; a job dequeued after it is shed unexecuted.
-	// Guarded by Scheduler.mu (coalescing extends it).
+
+	// All fields below are guarded by Scheduler.mu.
+	//
+	// waiters holds the deadline of every caller still attached to this
+	// job (zero = none). The effective deadline — the latest host time
+	// execution may usefully start — is recomputed from the multiset on
+	// every attach and detach: zero while any waiter is deadline-free,
+	// otherwise the latest. A waiter that gives up (its own deadline
+	// lapses, or its context is canceled, before execution starts)
+	// detaches, so a patient waiter's departure no longer pins a stale
+	// extended deadline on the job; when the last waiter departs the job
+	// is orphaned and shed at dequeue.
+	waiters  []time.Time
 	deadline time.Time
+	orphaned bool
+}
+
+// attach registers a caller's deadline with the job. Caller holds
+// Scheduler.mu.
+func (j *job) attach(deadline time.Time) {
+	j.waiters = append(j.waiters, deadline)
+	j.recomputeDeadline()
+}
+
+// detach removes one waiter with the given deadline (the multiset may
+// hold duplicates; removing any is equivalent). Caller holds
+// Scheduler.mu.
+func (j *job) detach(deadline time.Time) {
+	for i, d := range j.waiters {
+		if d.Equal(deadline) {
+			j.waiters = append(j.waiters[:i], j.waiters[i+1:]...)
+			break
+		}
+	}
+	j.recomputeDeadline()
+}
+
+func (j *job) recomputeDeadline() {
+	j.orphaned = len(j.waiters) == 0
+	var latest time.Time
+	for _, d := range j.waiters {
+		if d.IsZero() {
+			j.deadline = time.Time{}
+			return
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	j.deadline = latest
 }
 
 // New starts a scheduler and its worker pool.
@@ -152,6 +224,8 @@ func New(o Options) *Scheduler {
 	s := &Scheduler{
 		workers:  o.Workers,
 		jobs:     make(chan *job, o.QueueSize),
+		fill:     o.Fill,
+		onFill:   o.OnFill,
 		inflight: map[string]*job{},
 		reg:      reg,
 	}
@@ -163,6 +237,7 @@ func New(o Options) *Scheduler {
 	s.failed = reg.Counter("emxd_runs_failed_total", "simulator executions that returned an error")
 	s.cacheHits = reg.Counter("emxd_runs_cache_hit_total", "requests served from the result cache")
 	s.coalescedHits = reg.Counter("emxd_runs_coalesced_total", "requests attached to an identical in-flight execution")
+	s.filled = reg.Counter("emxd_runs_filled_total", "cache misses served by the replica fill hook instead of executing")
 	s.rejected = reg.Counter("emxd_runs_rejected_total", "requests rejected because the queue was full")
 	s.shed = func(reason string) *metrics.Counter {
 		return reg.Labeled("emxd_shed_requests_total",
@@ -170,6 +245,8 @@ func New(o Options) *Scheduler {
 	}
 	s.shedDeadline = s.shed("deadline")
 	s.shedQueueFull = s.shed("queue_full")
+	s.shedAbandoned = s.shed("abandoned")
+	s.shedCanceled = s.shed("canceled")
 	s.workloadCycles = func(label string) *metrics.Counter {
 		return reg.Labeled("emxd_workload_cycles_total",
 			"simulated machine cycles executed, by workload", "workload", label)
@@ -206,72 +283,144 @@ func (s *Scheduler) Do(key string, fn func() (*metrics.Run, error)) (*metrics.Ru
 // ErrDeadlineExceeded instead of executing. Cache hits are still
 // served: they cost nothing. Coalescing onto an in-flight job extends
 // that job's deadline to the latest waiter's, so an expiring request
-// never sheds work a patient one still wants.
+// never sheds work a patient one still wants; when that patient waiter
+// itself departs, the effective deadline shrinks back to the survivors'.
 func (s *Scheduler) DoDeadline(key string, deadline time.Time, fn func() (*metrics.Run, error)) (*metrics.Run, Source, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, Executed, ErrClosed
-	}
-	if s.cache != nil {
-		if run, ok := s.cache.get(key); ok {
+	return s.DoContext(context.Background(), key, deadline, fn)
+}
+
+// DoContext is DoDeadline with caller-departure awareness: when ctx is
+// canceled before the result arrives, the call detaches from its job
+// and returns ctx's error. The job's effective deadline is recomputed
+// from the waiters still attached, and a job whose last waiter departed
+// is shed at dequeue instead of executing for nobody.
+func (s *Scheduler) DoContext(ctx context.Context, key string, deadline time.Time, fn func() (*metrics.Run, error)) (*metrics.Run, Source, error) {
+	triedFill := s.fill == nil
+	for {
+		s.mu.Lock()
+		if s.closed {
 			s.mu.Unlock()
-			s.cacheHits.Inc()
-			return run, Cached, nil
+			return nil, Executed, ErrClosed
 		}
-	}
-	if !deadline.IsZero() && !time.Now().Before(deadline) { //emx:hostclock deadline-aware load shedding
-		s.mu.Unlock()
-		s.shedDeadline.Inc()
-		return nil, Executed, fmt.Errorf("%w (expired on admission)", ErrDeadlineExceeded)
-	}
-	if j, ok := s.inflight[key]; ok {
-		if !j.deadline.IsZero() && (deadline.IsZero() || deadline.After(j.deadline)) {
-			j.deadline = deadline
+		if s.cache != nil {
+			if run, ok := s.cache.get(key); ok {
+				s.mu.Unlock()
+				s.cacheHits.Inc()
+				return run, Cached, nil
+			}
 		}
-		s.mu.Unlock()
-		s.coalescedHits.Inc()
+		if !deadline.IsZero() && !time.Now().Before(deadline) { //emx:hostclock deadline-aware load shedding
+			s.mu.Unlock()
+			s.shedDeadline.Inc()
+			return nil, Executed, fmt.Errorf("%w (expired on admission)", ErrDeadlineExceeded)
+		}
+		if j, ok := s.inflight[key]; ok {
+			j.attach(deadline)
+			s.mu.Unlock()
+			s.coalescedHits.Inc()
+			return s.wait(ctx, j, deadline, Coalesced)
+		}
+		if !triedFill {
+			// Cache miss about to cost an execution: ask the fill hook
+			// (peer replicas hold byte-identical copies) first. The hook
+			// does network I/O, so drop the lock and re-run admission
+			// afterwards — the cache or in-flight set may have changed.
+			triedFill = true
+			s.mu.Unlock()
+			if run := s.fill(key, deadline); run != nil {
+				s.mu.Lock()
+				if s.cache != nil {
+					s.cache.add(key, run)
+				}
+				s.mu.Unlock()
+				s.filled.Inc()
+				return run, Replicated, nil
+			}
+			continue
+		}
+		j := &job{key: key, fn: fn, done: make(chan struct{})}
+		j.attach(deadline)
+		select {
+		case s.jobs <- j:
+			s.inflight[key] = j
+			s.mu.Unlock()
+		default:
+			s.mu.Unlock()
+			s.rejected.Inc()
+			s.shedQueueFull.Inc()
+			return nil, Executed, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.jobs))
+		}
+		return s.wait(ctx, j, deadline, Executed)
+	}
+}
+
+// wait blocks until j completes or ctx is canceled. A waiter whose own
+// deadline lapses while another waiter keeps the job alive still
+// receives the (already paid-for) result — deadline shedding is
+// collective, decided at dequeue from the job's effective deadline. A
+// canceled waiter, by contrast, departs individually: it detaches its
+// deadline so the effective deadline shrinks to the survivors'.
+func (s *Scheduler) wait(ctx context.Context, j *job, deadline time.Time, src Source) (*metrics.Run, Source, error) {
+	if ctx.Done() == nil {
 		<-j.done
-		return j.run, Coalesced, j.err
+		return j.run, src, j.err
 	}
-	j := &job{key: key, fn: fn, done: make(chan struct{}), deadline: deadline}
 	select {
-	case s.jobs <- j:
-		s.inflight[key] = j
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.rejected.Inc()
-		s.shedQueueFull.Inc()
-		return nil, Executed, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.jobs))
+	case <-j.done:
+		return j.run, src, j.err
+	case <-ctx.Done():
+		if s.detachIfUnfinished(j, deadline) {
+			s.shedCanceled.Inc()
+			return nil, src, ctx.Err()
+		}
+		// Completed in the race window: the result is sitting there.
+		<-j.done
+		return j.run, src, j.err
 	}
-	<-j.done
-	return j.run, Executed, j.err
+}
+
+// detachIfUnfinished detaches a canceled waiter whenever the result is
+// not already available — a gone caller reads nothing, started or not.
+func (s *Scheduler) detachIfUnfinished(j *job, deadline time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-j.done:
+		return false
+	default:
+	}
+	j.detach(deadline)
+	return true
 }
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		s.mu.Lock()
-		deadline := j.deadline
-		s.mu.Unlock()
-		if !deadline.IsZero() && time.Now().After(deadline) { //emx:hostclock deadline-aware load shedding
-			// The waiter has already given up: shed the run before it
-			// costs a worker anything.
+		expired := !j.deadline.IsZero() && time.Now().After(j.deadline) //emx:hostclock deadline-aware load shedding
+		if j.orphaned || expired {
+			// Every waiter gave up (or the latest deadline lapsed in
+			// queue): shed the run before it costs a worker anything.
 			j.err = fmt.Errorf("%w (queued past deadline)", ErrDeadlineExceeded)
-			s.mu.Lock()
 			delete(s.inflight, j.key)
 			s.mu.Unlock()
-			s.shedDeadline.Inc()
+			if j.orphaned {
+				s.shedAbandoned.Inc()
+			} else {
+				s.shedDeadline.Inc()
+			}
 			close(j.done)
 			continue
 		}
+		s.mu.Unlock()
 		s.started.Inc()
 		j.run, j.err = j.fn()
 		s.mu.Lock()
 		delete(s.inflight, j.key)
+		cached := false
 		if j.err == nil && s.cache != nil {
 			s.cache.add(j.key, j.run)
+			cached = true
 		}
 		s.mu.Unlock()
 		if j.err != nil {
@@ -288,6 +437,9 @@ func (s *Scheduler) worker() {
 			}
 		}
 		close(j.done)
+		if cached && s.onFill != nil {
+			s.onFill(j.key, j.run)
+		}
 	}
 }
 
@@ -318,10 +470,17 @@ func rate(count, nanos uint64) float64 {
 type Stats struct {
 	Started, Completed, Failed     uint64
 	CacheHits, Coalesced, Rejected uint64
+	// Filled counts cache misses served by the replica fill hook (zero
+	// local executions).
+	Filled uint64
 	// ShedDeadline counts requests shed because their deadline expired
 	// before execution (ErrDeadlineExceeded); queue-full sheds are
-	// Rejected.
+	// Rejected. ShedAbandoned counts jobs shed at dequeue because every
+	// waiter had departed; ShedCanceled counts waiters that departed via
+	// context cancellation.
 	ShedDeadline         uint64
+	ShedAbandoned        uint64
+	ShedCanceled         uint64
 	QueueDepth, QueueCap int
 	CacheLen, CacheCap   int
 	Workers              int
@@ -337,21 +496,24 @@ type Stats struct {
 // Stats returns current operational counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Started:      s.started.Value(),
-		Completed:    s.completed.Value(),
-		Failed:       s.failed.Value(),
-		CacheHits:    s.cacheHits.Value(),
-		Coalesced:    s.coalescedHits.Value(),
-		Rejected:     s.rejected.Value(),
-		ShedDeadline: s.shedDeadline.Value(),
-		QueueDepth:   len(s.jobs),
-		QueueCap:     cap(s.jobs),
-		CacheLen:     s.CacheLen(),
-		CacheCap:     s.CacheCap(),
-		Workers:      s.workers,
-		SimCycles:    s.simCycles.Value(),
-		SimEvents:    s.simEvents.Value(),
-		HostSeconds:  float64(s.hostNanos.Value()) / 1e9,
+		Started:       s.started.Value(),
+		Completed:     s.completed.Value(),
+		Failed:        s.failed.Value(),
+		CacheHits:     s.cacheHits.Value(),
+		Coalesced:     s.coalescedHits.Value(),
+		Filled:        s.filled.Value(),
+		Rejected:      s.rejected.Value(),
+		ShedDeadline:  s.shedDeadline.Value(),
+		ShedAbandoned: s.shedAbandoned.Value(),
+		ShedCanceled:  s.shedCanceled.Value(),
+		QueueDepth:    len(s.jobs),
+		QueueCap:      cap(s.jobs),
+		CacheLen:      s.CacheLen(),
+		CacheCap:      s.CacheCap(),
+		Workers:       s.workers,
+		SimCycles:     s.simCycles.Value(),
+		SimEvents:     s.simEvents.Value(),
+		HostSeconds:   float64(s.hostNanos.Value()) / 1e9,
 	}
 }
 
@@ -400,6 +562,59 @@ func (s *Scheduler) CacheCap() int {
 
 // Registry exposes the scheduler's metrics registry (for /metrics).
 func (s *Scheduler) Registry() *metrics.Registry { return s.reg }
+
+// RunsExecuted reports how many simulator executions this scheduler has
+// started — the counter replication tests diff to prove a failover
+// served cached bytes instead of recomputing.
+func (s *Scheduler) RunsExecuted() uint64 { return s.started.Value() }
+
+// CacheGet returns the cached result for key without counting a
+// request-path cache hit. Used by the replication layer to export
+// entries to peers.
+func (s *Scheduler) CacheGet(key string) (*metrics.Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.get(key)
+}
+
+// CachePut installs a replicated result. It reports false — and stores
+// nothing — when caching is disabled or the key is already present
+// (content-addressed entries are byte-identical, so overwriting only
+// churns the LRU order).
+func (s *Scheduler) CachePut(key string, run *metrics.Run) bool {
+	if run == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return false
+	}
+	if _, ok := s.cache.items[key]; ok {
+		return false
+	}
+	s.cache.add(key, run)
+	return true
+}
+
+// CacheKeys snapshots the cache index in sorted order — the walk list
+// for the anti-entropy migrator.
+func (s *Scheduler) CacheKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(s.cache.items))
+	for k := range s.cache.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // lruCache is a plain LRU over *metrics.Run, guarded by Scheduler.mu.
 type lruCache struct {

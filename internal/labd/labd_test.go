@@ -1,6 +1,7 @@
 package labd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -401,6 +402,120 @@ func TestCoalesceExtendsDeadline(t *testing.T) {
 	}
 	if st := s.Stats(); st.ShedDeadline != 0 {
 		t.Fatalf("ShedDeadline = %d, want 0", st.ShedDeadline)
+	}
+}
+
+// TestCoalesceRecomputesDeadlineWhenPatientWaiterDeparts is the
+// regression test for the coalescing-deadline bug: the job's effective
+// deadline used to be a high-water mark, so a patient waiter that
+// canceled kept the job immortal on behalf of callers who'd already
+// given it a budget. When the most-patient waiter departs, the
+// deadline must be recomputed from the survivors.
+func TestCoalesceRecomputesDeadlineWhenPatientWaiterDeparts(t *testing.T) {
+	s := New(Options{Workers: 1, NoCache: true})
+	defer s.Close()
+	release := make(chan struct{})
+	blockerStarted := make(chan struct{})
+	go s.Do("blocker", func() (*metrics.Run, error) {
+		close(blockerStarted)
+		<-release
+		return fakeRun("bitonic", 1), nil
+	})
+	<-blockerStarted
+
+	// Impatient caller creates the job with a deadline that will lapse.
+	var ran atomic.Bool
+	first := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoDeadline("shared", time.Now().Add(40*time.Millisecond), func() (*metrics.Run, error) { //emx:hostclock test fixture
+			ran.Store(true)
+			return fakeRun("fft", 1), nil
+		})
+		first <- err
+	}()
+	waitForInflight(t, s, "shared")
+
+	// Patient caller coalesces with no deadline — then departs.
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoContext(ctx, "shared", time.Time{}, func() (*metrics.Run, error) {
+			ran.Store(true)
+			return fakeRun("fft", 1), nil
+		})
+		second <- err
+	}()
+	waitForCoalesced(t, s, 1)
+	cancel()
+	if err := <-second; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v, want context.Canceled", err)
+	}
+
+	// With the patient waiter gone, the job's deadline must be the
+	// impatient caller's again: lapse it, then let the worker dequeue.
+	time.Sleep(80 * time.Millisecond) //emx:hostclock lapse the surviving caller's deadline
+	close(release)
+	if err := <-first; !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("surviving caller err = %v, want ErrDeadlineExceeded (deadline not recomputed)", err)
+	}
+	if ran.Load() {
+		t.Fatal("expired job still executed after its patient waiter departed")
+	}
+	st := s.Stats()
+	if st.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+	if st.ShedCanceled != 1 {
+		t.Fatalf("ShedCanceled = %d, want 1", st.ShedCanceled)
+	}
+}
+
+// TestOrphanedJobShedAsAbandoned: when every waiter departs before the
+// job starts, the queued work is abandoned — the worker drops it at
+// dequeue instead of computing a result nobody will read.
+func TestOrphanedJobShedAsAbandoned(t *testing.T) {
+	s := New(Options{Workers: 1, NoCache: true})
+	defer s.Close()
+	release := make(chan struct{})
+	blockerStarted := make(chan struct{})
+	go s.Do("blocker", func() (*metrics.Run, error) {
+		close(blockerStarted)
+		<-release
+		return fakeRun("bitonic", 1), nil
+	})
+	<-blockerStarted
+
+	var ran atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoContext(ctx, "orphan", time.Time{}, func() (*metrics.Run, error) {
+			ran.Store(true)
+			return fakeRun("fft", 1), nil
+		})
+		done <- err
+	}()
+	waitForInflight(t, s, "orphan")
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+
+	deadline := time.After(5 * time.Second)
+	for s.Stats().ShedAbandoned == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("orphaned job never shed as abandoned: %+v", s.Stats())
+		default:
+			time.Sleep(time.Millisecond) //emx:hostclock test polling
+		}
+	}
+	if ran.Load() {
+		t.Fatal("orphaned job still executed")
+	}
+	if st := s.Stats(); st.ShedCanceled != 1 || st.ShedAbandoned != 1 {
+		t.Fatalf("stats = %+v, want ShedCanceled=1 ShedAbandoned=1", st)
 	}
 }
 

@@ -1,0 +1,340 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"emx/internal/metrics"
+)
+
+// newReplicatedPair builds two servers with R=2 replication wired to
+// each other. Peer URLs only exist after the listeners do, so the ring
+// arrives via SetPeers — the same late-binding path emxd uses when its
+// flags name peers that have not booted yet.
+func newReplicatedPair(t *testing.T) (a, b *Server, tsA, tsB *httptest.Server) {
+	t.Helper()
+	mk := func() (*Server, *httptest.Server) {
+		srv := New(Options{
+			Scale:       hugeScale,
+			Seed:        1,
+			Replication: ReplicationOptions{Replicas: 2},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		return srv, ts
+	}
+	a, tsA = mk()
+	b, tsB = mk()
+	peers := []string{tsA.URL, tsB.URL}
+	a.SetPeers(tsA.URL, peers)
+	b.SetPeers(tsB.URL, peers)
+	return a, b, tsA, tsB
+}
+
+// TestReplicationPushStoresOnPeer: executing a run on one node pushes
+// the content-addressed result to its peer, which then serves the same
+// request from cache without executing anything.
+func TestReplicationPushStoresOnPeer(t *testing.T) {
+	a, b, tsA, tsB := newReplicatedPair(t)
+	req := RunRequest{Workload: "fft", P: 4, H: 2, N: 64 << 10}
+
+	first := decode[RunResponse](t, postJSON(t, tsA.URL+"/v1/run", req))
+	if first.Source != "executed" {
+		t.Fatalf("first run source %q, want executed", first.Source)
+	}
+	if !a.FlushReplication(5 * time.Second) {
+		t.Fatal("push queue did not drain")
+	}
+
+	if _, ok := b.Scheduler().CacheGet(first.Key); !ok {
+		t.Fatalf("peer does not hold replicated key %s", first.Key)
+	}
+	if got := a.Registry().Snapshot()["emxd_cache_replica_pushes_total"]; got != 1 {
+		t.Errorf("pushes on owner = %v, want 1", got)
+	}
+	if got := b.Registry().Snapshot()["emxd_cache_replica_stores_total"]; got != 1 {
+		t.Errorf("stores on peer = %v, want 1", got)
+	}
+
+	second := decode[RunResponse](t, postJSON(t, tsB.URL+"/v1/run", req))
+	if second.Source != "cached" {
+		t.Fatalf("peer served source %q, want cached", second.Source)
+	}
+	if second.MakespanCycles != first.MakespanCycles || second.Key != first.Key {
+		t.Fatalf("replicated result differs: %+v vs %+v", second, first)
+	}
+	if got := b.Scheduler().RunsExecuted(); got != 0 {
+		t.Fatalf("peer executed %d runs for a replicated point", got)
+	}
+}
+
+// TestPeerFillOnMiss: a node that never received the push still serves
+// the point without executing — the cache miss triggers a bounded peer
+// fill from the replica that has it.
+func TestPeerFillOnMiss(t *testing.T) {
+	// The holder runs unreplicated: it serves /v1/cache/get but pushes
+	// nothing, so the filler's copy can only arrive via the fill path.
+	holder := New(Options{Scale: hugeScale, Seed: 1})
+	tsHolder := httptest.NewServer(holder.Handler())
+	t.Cleanup(func() { tsHolder.Close(); holder.Close() })
+
+	filler := New(Options{
+		Scale:       hugeScale,
+		Seed:        1,
+		Replication: ReplicationOptions{Replicas: 2},
+	})
+	tsFiller := httptest.NewServer(filler.Handler())
+	t.Cleanup(func() { tsFiller.Close(); filler.Close() })
+	filler.SetPeers(tsFiller.URL, []string{tsHolder.URL, tsFiller.URL})
+
+	req := RunRequest{Workload: "bitonic", P: 4, H: 2, N: 64 << 10}
+	first := decode[RunResponse](t, postJSON(t, tsHolder.URL+"/v1/run", req))
+	if first.Source != "executed" {
+		t.Fatalf("holder source %q", first.Source)
+	}
+
+	filled := decode[RunResponse](t, postJSON(t, tsFiller.URL+"/v1/run", req))
+	if filled.Source != "replicated" {
+		t.Fatalf("fill source %q, want replicated", filled.Source)
+	}
+	if filled.MakespanCycles != first.MakespanCycles || filled.Key != first.Key {
+		t.Fatalf("filled result differs: %+v vs %+v", filled, first)
+	}
+	if got := filler.Scheduler().RunsExecuted(); got != 0 {
+		t.Fatalf("filler executed %d runs, want 0", got)
+	}
+	if got := filler.Registry().Snapshot()["emxd_cache_replica_fills_total"]; got != 1 {
+		t.Errorf("fills = %v, want 1", got)
+	}
+
+	// Once filled, the copy is local: a repeat is a plain cache hit.
+	again := decode[RunResponse](t, postJSON(t, tsFiller.URL+"/v1/run", req))
+	if again.Source != "cached" {
+		t.Errorf("post-fill repeat source %q, want cached", again.Source)
+	}
+}
+
+// TestFillMissFallsBackToExecute: when no replica holds the point, the
+// fill attempt counts a miss and the node executes normally — fill is
+// an optimization, never a correctness dependency.
+func TestFillMissFallsBackToExecute(t *testing.T) {
+	_, b, _, tsB := newReplicatedPair(t)
+	req := RunRequest{Workload: "spmv", P: 4, H: 2, N: 64 << 20}
+	resp := decode[RunResponse](t, postJSON(t, tsB.URL+"/v1/run", req))
+	if resp.Source != "executed" {
+		t.Fatalf("source %q, want executed after a fill miss", resp.Source)
+	}
+	snap := b.Registry().Snapshot()
+	if snap["emxd_cache_replica_fill_misses_total"] != 1 {
+		t.Errorf("fill misses = %v, want 1", snap["emxd_cache_replica_fill_misses_total"])
+	}
+	if snap["emxd_cache_replica_fills_total"] != 0 {
+		t.Errorf("fills = %v, want 0", snap["emxd_cache_replica_fills_total"])
+	}
+	if got := b.Scheduler().RunsExecuted(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+}
+
+// TestCachePutDigestVerification: /v1/cache/put recomputes the digest
+// before storing. A tampered envelope is rejected with 400 and a
+// counter bump, and never reaches the cache.
+func TestCachePutDigestVerification(t *testing.T) {
+	srv := New(Options{
+		Scale:       hugeScale,
+		Seed:        1,
+		Replication: ReplicationOptions{Replicas: 2},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	env, err := envelope("the-key", &metrics.Run{Label: "stub", P: 4, H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(v any) *http.Response {
+		t.Helper()
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/cache/put", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Tampered payload: digest no longer matches.
+	bad := env
+	bad.Run = json.RawMessage(`{"label":"forged"}`)
+	resp := post(bad)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tampered envelope got %d, want 400", resp.StatusCode)
+	}
+	if _, ok := srv.Scheduler().CacheGet("the-key"); ok {
+		t.Fatal("tampered envelope reached the cache")
+	}
+	if got := srv.Registry().Snapshot()["emxd_cache_replica_digest_mismatch_total"]; got != 1 {
+		t.Errorf("digest mismatches = %v, want 1", got)
+	}
+
+	// Keyless envelope: rejected before any digest work.
+	bad = env
+	bad.Key = ""
+	resp = post(bad)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("keyless envelope got %d, want 400", resp.StatusCode)
+	}
+
+	// The honest envelope stores.
+	resp = post(env)
+	stored := decode[map[string]bool](t, resp)
+	if resp.StatusCode != http.StatusOK || !stored["stored"] {
+		t.Fatalf("valid envelope: status %d, stored %v", resp.StatusCode, stored)
+	}
+	if run, ok := srv.Scheduler().CacheGet("the-key"); !ok || run.Label != "stub" {
+		t.Fatalf("stored entry wrong: %v, %v", run, ok)
+	}
+}
+
+// TestCacheIndexListsSortedKeys: /v1/cache/index is the migrator's walk
+// list — every local key, sorted, so diffs against the ring are
+// deterministic.
+func TestCacheIndexListsSortedKeys(t *testing.T) {
+	srv, ts := newTestServer(t)
+	for _, key := range []string{"bravo", "alpha", "charlie"} {
+		if !srv.Scheduler().CachePut(key, &metrics.Run{Label: key}) {
+			t.Fatalf("seeding %s failed", key)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/cache/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := decode[CacheIndexResponse](t, resp)
+	want := []string{"alpha", "bravo", "charlie"}
+	if len(idx.Keys) != len(want) {
+		t.Fatalf("index %v, want %v", idx.Keys, want)
+	}
+	for i, k := range want {
+		if idx.Keys[i] != k {
+			t.Fatalf("index %v not sorted, want %v", idx.Keys, want)
+		}
+	}
+}
+
+// TestAntiEntropyMigrationOnJoin is the membership-change acceptance
+// test: a node that cached results while alone must, on learning of a
+// joined peer, walk its cache index and offer the entries — so the
+// R-copies invariant holds for results computed before the join, and
+// the joiner can serve them even after the original owner dies.
+func TestAntiEntropyMigrationOnJoin(t *testing.T) {
+	// Boot A alone: replication is configured but has no peer to talk to.
+	a := New(Options{
+		Scale:       hugeScale,
+		Seed:        1,
+		Replication: ReplicationOptions{Replicas: 2},
+	})
+	tsA := httptest.NewServer(a.Handler())
+	t.Cleanup(func() { tsA.Close(); a.Close() })
+	a.SetPeers(tsA.URL, []string{tsA.URL})
+
+	reqs := []RunRequest{
+		{Workload: "fft", P: 4, H: 2, N: 64 << 10},
+		{Workload: "bitonic", P: 8, H: 4, N: 128 << 10},
+	}
+	var keysCached []string
+	for _, req := range reqs {
+		resp := decode[RunResponse](t, postJSON(t, tsA.URL+"/v1/run", req))
+		if resp.Source != "executed" {
+			t.Fatalf("seed run source %q", resp.Source)
+		}
+		keysCached = append(keysCached, resp.Key)
+	}
+
+	// B joins; both nodes learn the new membership. A's SetPeers sees a
+	// real change and kicks the background migrator.
+	b := New(Options{
+		Scale:       hugeScale,
+		Seed:        1,
+		Replication: ReplicationOptions{Replicas: 2},
+	})
+	tsB := httptest.NewServer(b.Handler())
+	t.Cleanup(func() { tsB.Close(); b.Close() })
+	peers := []string{tsA.URL, tsB.URL}
+	b.SetPeers(tsB.URL, peers)
+	a.SetPeers(tsA.URL, peers)
+
+	deadline := time.Now().Add(5 * time.Second) //emx:hostclock test wait bound
+	for {
+		have := 0
+		for _, k := range keysCached {
+			if _, ok := b.Scheduler().CacheGet(k); ok {
+				have++
+			}
+		}
+		if have == len(keysCached) {
+			break
+		}
+		if time.Now().After(deadline) { //emx:hostclock
+			t.Fatalf("joiner holds %d/%d migrated entries", have, len(keysCached))
+		}
+		time.Sleep(5 * time.Millisecond) //emx:hostclock
+	}
+	if got := a.Registry().Snapshot()["emxd_cache_replica_migrated_total"]; got != 2 {
+		t.Errorf("migrated = %v, want 2", got)
+	}
+
+	// The original owner dies; the joiner serves its pre-join results
+	// from the migrated copies without executing anything.
+	tsA.Close()
+	for i, req := range reqs {
+		resp := decode[RunResponse](t, postJSON(t, tsB.URL+"/v1/run", req))
+		if resp.Source != "cached" {
+			t.Errorf("post-death request %d source %q, want cached", i, resp.Source)
+		}
+	}
+	if got := b.Scheduler().RunsExecuted(); got != 0 {
+		t.Fatalf("joiner executed %d runs for migrated points", got)
+	}
+}
+
+// TestMigrateSynchronous: the operational hook reports how many entries
+// one anti-entropy walk offered.
+func TestMigrateSynchronous(t *testing.T) {
+	a, b, tsA, _ := newReplicatedPair(t)
+	resp := decode[RunResponse](t, postJSON(t, tsA.URL+"/v1/run",
+		RunRequest{Workload: "fft", P: 4, H: 2, N: 64 << 10}))
+	if !a.FlushReplication(5 * time.Second) {
+		t.Fatal("push queue did not drain")
+	}
+	// Drop the peer's copy so the walk has something to restore.
+	bKeys := b.Scheduler().CacheKeys()
+	if len(bKeys) != 1 {
+		t.Fatalf("peer holds %d entries, want 1", len(bKeys))
+	}
+
+	if n := a.Migrate(); n != 1 {
+		t.Fatalf("Migrate offered %d entries, want 1", n)
+	}
+	if !a.FlushReplication(5 * time.Second) {
+		t.Fatal("migration pushes did not drain")
+	}
+	if _, ok := b.Scheduler().CacheGet(resp.Key); !ok {
+		t.Fatal("peer lost the entry after migration")
+	}
+
+	// Disabled replication: Migrate is a counted no-op.
+	plain, _ := newTestServer(t)
+	if n := plain.Migrate(); n != 0 {
+		t.Fatalf("unreplicated Migrate offered %d", n)
+	}
+}

@@ -5,11 +5,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/run     execute (or fetch) one simulation point
-//	POST /v1/figure  build a whole figure panel (see harness.PanelNames)
-//	POST /v1/profile execute one point with the emxprof tracer attached
-//	GET  /v1/status  scheduler and cache state as JSON
-//	GET  /metrics    Prometheus text exposition
+//	POST /v1/run         execute (or fetch) one simulation point
+//	POST /v1/figure      build a whole figure panel (see harness.PanelNames)
+//	POST /v1/profile     execute one point with the emxprof tracer attached
+//	GET  /v1/status      scheduler and cache state as JSON
+//	GET  /metrics        Prometheus text exposition
+//	POST /v1/cache/put   accept a replicated cache entry from a peer
+//	POST /v1/cache/get   export one cache entry to a peer (replica fill)
+//	GET  /v1/cache/index list the cache keys this node holds
 package service
 
 import (
@@ -74,12 +77,16 @@ type Options struct {
 	Shards int
 	// Sched configures the underlying scheduler (workers, queue, cache).
 	Sched labd.Options
+	// Replication configures N-way cache replication across cluster
+	// peers; the zero value disables it.
+	Replication ReplicationOptions
 }
 
 // Server owns a scheduler and serves the experiment API on it.
 type Server struct {
 	opts  Options
 	sched *labd.Scheduler
+	repl  *replicator // nil when replication is disabled
 	mux   *http.ServeMux
 	start time.Time
 
@@ -99,12 +106,22 @@ func New(opts Options) *Server {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Sched.Registry == nil {
+		opts.Sched.Registry = metrics.NewRegistry()
+	}
 	s := &Server{
 		opts:  opts,
-		sched: labd.New(opts.Sched),
 		mux:   http.NewServeMux(),
 		start: time.Now(), //emx:hostclock serving-uptime observability
 	}
+	if opts.Replication.Replicas > 1 {
+		// The replicator's hooks must exist before the scheduler does;
+		// its view of the cache is wired just after.
+		s.repl = newReplicator(opts.Replication, opts.Sched.Registry)
+		opts.Sched.Fill = s.repl.fill
+		opts.Sched.OnFill = func(key string, run *metrics.Run) { s.repl.offer(key, run) }
+	}
+	s.sched = labd.New(opts.Sched)
 	reg := s.sched.Registry()
 	s.latency = reg.Histogram("emxd_http_request_seconds",
 		"HTTP request latency on the serving host", metrics.DefLatencyBuckets)
@@ -126,7 +143,102 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/cache/put", s.handleCachePut)
+	s.mux.HandleFunc("/v1/cache/get", s.handleCacheGet)
+	s.mux.HandleFunc("/v1/cache/index", s.handleCacheIndex)
 	return s
+}
+
+// SetPeers installs (or replaces) the replica ring: self is this node's
+// base URL as peers address it, peers is the full member set. A real
+// membership change kicks the anti-entropy migrator in the background,
+// restoring the R-copies invariant after a join or failback. No-op when
+// replication is disabled.
+func (s *Server) SetPeers(self string, peers []string) {
+	if s.repl == nil {
+		return
+	}
+	if s.repl.setPeers(self, peers) {
+		go s.repl.migrate(s.sched)
+	}
+}
+
+// Migrate runs one synchronous anti-entropy walk and returns how many
+// entries were offered to peers. Test and operational hook; the
+// background trigger is SetPeers.
+func (s *Server) Migrate() int {
+	if s.repl == nil {
+		return 0
+	}
+	return s.repl.migrate(s.sched)
+}
+
+// FlushReplication blocks until queued replica pushes have been
+// attempted (or timeout). Reports whether the queue drained. Always
+// true when replication is disabled.
+func (s *Server) FlushReplication(timeout time.Duration) bool {
+	if s.repl == nil {
+		return true
+	}
+	return s.repl.quiesce(timeout)
+}
+
+// handleCachePut accepts one replicated cache entry from a peer. The
+// digest is recomputed before the entry is stored; a mismatch is a 400
+// and a counter bump, never a cache write.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var env CacheEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		s.writeError(w, fmt.Errorf("bad envelope: %w", err))
+		return
+	}
+	run, err := openEnvelope(env)
+	if err != nil {
+		if s.repl != nil {
+			s.repl.mismatches.Inc()
+		}
+		s.writeError(w, err)
+		return
+	}
+	stored := s.sched.CachePut(env.Key, run)
+	if stored && s.repl != nil {
+		s.repl.stores.Inc()
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": stored})
+}
+
+// handleCacheGet exports one cache entry (the peer-fill read side).
+// 404 means "no replica here" — the caller tries the next replica or
+// recomputes.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req cacheGetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	run, ok := s.sched.CacheGet(req.Key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "not cached: " + req.Key})
+		return
+	}
+	env, err := envelope(req.Key, run)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// handleCacheIndex lists this node's cache keys (sorted), the walk list
+// a peer's migrator — or an operator — can diff against the ring.
+func (s *Server) handleCacheIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CacheIndexResponse{Keys: s.sched.CacheKeys()})
 }
 
 // Handler returns the HTTP handler serving the API. Every request
@@ -163,8 +275,14 @@ func (s *Server) Scheduler() *labd.Scheduler { return s.sched }
 // Registry exposes the operational metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.sched.Registry() }
 
-// Close stops the scheduler, draining queued runs.
-func (s *Server) Close() { s.sched.Close() }
+// Close stops the scheduler, draining queued runs, and stops the
+// replication push loop.
+func (s *Server) Close() {
+	s.sched.Close()
+	if s.repl != nil {
+		s.repl.close()
+	}
+}
 
 // RunRequest is the body of POST /v1/run: one simulation point in the
 // paper's vocabulary. N is the paper-equivalent size; the simulated
@@ -230,6 +348,7 @@ type StatusResponse struct {
 	DefaultScale  int                `json:"default_scale"`
 	DefaultSeed   int64              `json:"default_seed"`
 	DefaultShards int                `json:"default_shards"`
+	Replicas      int                `json:"replicas,omitempty"`
 	Panels        []string           `json:"panels"`
 	Throughput    Throughput         `json:"throughput"`
 	Counters      map[string]float64 `json:"counters"`
@@ -526,6 +645,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		DefaultScale:  s.opts.Scale,
 		DefaultSeed:   s.opts.Seed,
 		DefaultShards: s.opts.Shards,
+		Replicas:      s.opts.Replication.Replicas,
 		Panels:        harness.PanelNames(),
 		Throughput: Throughput{
 			SimCycles:       st.SimCycles,

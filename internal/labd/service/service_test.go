@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -237,12 +238,17 @@ func TestBackpressure503(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer func() { ts.Close(); srv.Close() }()
 
-	// Hold the single worker and the one queue slot with blocked runs
-	// submitted directly to the shared scheduler.
+	// Hold the single worker, then the one queue slot, with blocked runs
+	// submitted directly to the shared scheduler — sequentially, so the
+	// second submission cannot race the worker's dequeue of the first
+	// and bounce off the still-full queue.
 	release := make(chan struct{})
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	// Unblock the held worker even when an assertion fails mid-test:
+	// srv.Close() (deferred above, runs after this) waits for it.
+	defer releaseOnce()
 	done := make(chan struct{}, 2)
-	for _, key := range []string{"held-by-worker", "held-in-queue"} {
-		key := key
+	submit := func(key string) {
 		go func() {
 			srv.Scheduler().Do(key, func() (*metrics.Run, error) {
 				<-release
@@ -251,14 +257,21 @@ func TestBackpressure503(t *testing.T) {
 			done <- struct{}{}
 		}()
 	}
-	deadline := time.After(5 * time.Second)
-	for srv.Scheduler().Stats().Started != 1 || srv.Scheduler().Stats().QueueDepth != 1 {
-		select {
-		case <-deadline:
-			t.Fatalf("could not saturate pool: %+v", srv.Scheduler().Stats())
-		case <-time.After(time.Millisecond):
+	waitFor := func(desc string, ok func(labd.Stats) bool) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for !ok(srv.Scheduler().Stats()) {
+			select {
+			case <-deadline:
+				t.Fatalf("%s: %+v", desc, srv.Scheduler().Stats())
+			case <-time.After(time.Millisecond):
+			}
 		}
 	}
+	submit("held-by-worker")
+	waitFor("worker never picked up the blocked run", func(st labd.Stats) bool { return st.Started == 1 })
+	submit("held-in-queue")
+	waitFor("queue slot never filled", func(st labd.Stats) bool { return st.QueueDepth == 1 })
 
 	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "fft", P: 4, H: 1, N: 1024})
 	if resp.StatusCode != http.StatusServiceUnavailable {
@@ -273,7 +286,7 @@ func TestBackpressure503(t *testing.T) {
 	if !strings.Contains(e.Error, "queue full") {
 		t.Fatalf("error %q", e.Error)
 	}
-	close(release)
+	releaseOnce()
 	<-done
 	<-done
 }

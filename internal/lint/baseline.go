@@ -16,13 +16,19 @@ import (
 // to retire quietly.
 //
 // Matching deliberately ignores line and column: a baselined finding
-// should survive unrelated edits above it. The key is (analyzer, file
-// basename, message); duplicates are counted, so N baselined copies of
-// one message suppress at most N findings.
+// should survive unrelated edits above it. The key is (analyzer,
+// package import path, file basename, message); duplicates are
+// counted, so N baselined copies of one message suppress at most N
+// findings. Baselines saved before diagnostics carried a package path
+// have an empty Package and match findings from ANY package — keying
+// on basename alone conflated same-named files (doc.go, main.go)
+// across packages, so old baselines stay readable but new ones
+// disambiguate.
 
 // baselineKey identifies one finding independent of its exact position.
 type baselineKey struct {
 	Analyzer string
+	Package  string // import path; empty in legacy baselines
 	File     string // basename only: baselines survive checkout moves
 	Message  string
 }
@@ -30,6 +36,7 @@ type baselineKey struct {
 func keyOf(d Diagnostic) baselineKey {
 	return baselineKey{
 		Analyzer: d.Analyzer,
+		Package:  d.Package,
 		File:     filepath.Base(d.Pos.Filename),
 		Message:  d.Message,
 	}
@@ -38,6 +45,9 @@ func keyOf(d Diagnostic) baselineKey {
 // Baseline is a parsed baseline file.
 type Baseline struct {
 	counts map[baselineKey]int
+	// legacy counts entries whose baseline rows predate the Package
+	// field; they match a finding from any package.
+	legacy map[baselineKey]int
 }
 
 // LoadBaseline reads a baseline file (the JSON array emitted by
@@ -51,9 +61,14 @@ func LoadBaseline(path string) (*Baseline, error) {
 	if err := json.Unmarshal(data, &diags); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w (want the JSON array emitted by emxvet -json)", path, err)
 	}
-	b := &Baseline{counts: map[baselineKey]int{}}
+	b := &Baseline{counts: map[baselineKey]int{}, legacy: map[baselineKey]int{}}
 	for _, d := range diags {
-		b.counts[keyOf(d)]++
+		k := keyOf(d)
+		if k.Package == "" {
+			b.legacy[k]++
+			continue
+		}
+		b.counts[k]++
 	}
 	return b, nil
 }
@@ -62,6 +77,9 @@ func LoadBaseline(path string) (*Baseline, error) {
 func (b *Baseline) Size() int {
 	n := 0
 	for _, c := range b.counts {
+		n += c
+	}
+	for _, c := range b.legacy {
 		n += c
 	}
 	return n
@@ -75,6 +93,13 @@ func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, suppressed in
 		k := keyOf(d)
 		if b.counts[k] > 0 {
 			b.counts[k]--
+			suppressed++
+			continue
+		}
+		// Legacy rows have no package: match on the package-less key.
+		k.Package = ""
+		if b.legacy[k] > 0 {
+			b.legacy[k]--
 			suppressed++
 			continue
 		}

@@ -38,6 +38,7 @@ var (
 		"emx/internal/refalgo",
 		"emx/internal/labd",
 		"emx/internal/cluster",
+		"emx/internal/ring",
 		"emx/internal/load",
 		"emx/cmd/emxbench",
 		"emx/cmd/emxcluster",

@@ -68,6 +68,7 @@ type Related struct {
 // Diagnostic is one analyzer finding at a source position.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
+	Package  string         `json:"package,omitempty"`
 	Pos      token.Position `json:"pos"`
 	Message  string         `json:"message"`
 	Related  []Related      `json:"related,omitempty"`
@@ -98,6 +99,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Package:  p.Pkg.ImportPath,
 		Pos:      p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -107,6 +109,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) ReportRelated(pos token.Pos, related []Related, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Package:  p.Pkg.ImportPath,
 		Pos:      p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 		Related:  related,

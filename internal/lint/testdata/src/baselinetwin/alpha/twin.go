@@ -1,0 +1,16 @@
+// Package alpha is one of two deliberately identical fixture packages
+// for the baseline package-key test: same file basename, same finding
+// message, different import path. A baseline saved from one twin must
+// not suppress the other.
+package alpha
+
+type sink struct{ v any }
+
+// Box boxes an int on a hot path so hotalloc reports a finding whose
+// message carries no package path — only the baseline key's package
+// component can tell the twins apart.
+//
+//emx:hotpath
+func Box(s *sink, n int) {
+	s.v = n
+}

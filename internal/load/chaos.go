@@ -14,15 +14,26 @@ import (
 // before the AtRequest-th request (0-based) is issued. Steps key off
 // the global issue counter, not wall-clock, so "kill node 1 at request
 // 10" means the same thing on every host and at every load level.
+//
+// Owner replaces the fixed Node with "whichever node owns the
+// AtRequest-th request's routing key" ("kill:owner@10" in compact
+// form), resolved when the step fires. That is the step replication
+// acceptance uses: kill the one node guaranteed to hold a point's
+// cache entry and primary replica.
 type Step struct {
 	Action    string `json:"action"` // kill | restart | delay | reject | clear
 	Node      int    `json:"node"`
+	Owner     bool   `json:"owner,omitempty"`
 	AtRequest uint64 `json:"at_request"`
 	DelayMS   int    `json:"delay_ms,omitempty"` // delay action only
 }
 
 func (s Step) String() string {
-	out := fmt.Sprintf("%s:%d@%d", s.Action, s.Node, s.AtRequest)
+	target := strconv.Itoa(s.Node)
+	if s.Owner {
+		target = "owner"
+	}
+	out := fmt.Sprintf("%s:%s@%d", s.Action, target, s.AtRequest)
 	if s.Action == "delay" {
 		out += ":" + strconv.Itoa(s.DelayMS) + "ms"
 	}
@@ -92,15 +103,20 @@ func parseCompactStep(part string) (Step, error) {
 		return Step{}, fmt.Errorf("load: bad chaos step %q (want action:node@request)", part)
 	}
 	atStr, durStr, hasDur := strings.Cut(rest, ":")
-	node, err := strconv.Atoi(nodeStr)
-	if err != nil {
-		return Step{}, fmt.Errorf("load: bad node in chaos step %q: %v", part, err)
+	owner := nodeStr == "owner"
+	node := 0
+	if !owner {
+		var err error
+		node, err = strconv.Atoi(nodeStr)
+		if err != nil {
+			return Step{}, fmt.Errorf("load: bad node in chaos step %q: %v", part, err)
+		}
 	}
 	at, err := strconv.ParseUint(atStr, 10, 64)
 	if err != nil {
 		return Step{}, fmt.Errorf("load: bad request index in chaos step %q: %v", part, err)
 	}
-	step := Step{Action: action, Node: node, AtRequest: at}
+	step := Step{Action: action, Node: node, Owner: owner, AtRequest: at}
 	if hasDur {
 		d, err := time.ParseDuration(durStr)
 		if err != nil {
@@ -120,6 +136,10 @@ type Controller struct {
 	// Probe, when set, runs after a successful restart so a membership
 	// can re-admit the recovered node (failback).
 	Probe func()
+	// Resolver maps a request index to the lab node that owns that
+	// request's routing key. Owner-targeted steps need it; Run wires
+	// one from the traffic generator and the lab's member ring.
+	Resolver func(at uint64) (int, error)
 
 	mu    sync.Mutex
 	next  int
@@ -133,7 +153,7 @@ func NewController(lab *Lab, steps []Step) (*Controller, error) {
 		if err := validStep(st); err != nil {
 			return nil, err
 		}
-		if st.Node >= lab.Len() {
+		if !st.Owner && st.Node >= lab.Len() {
 			return nil, fmt.Errorf("load: chaos step %s targets node %d but the lab has %d", st, st.Node, lab.Len())
 		}
 	}
@@ -163,7 +183,17 @@ func (c *Controller) BeforeIssue(seq uint64) {
 }
 
 func (c *Controller) apply(st Step) error {
-	node, err := c.lab.Node(st.Node)
+	target := st.Node
+	if st.Owner {
+		if c.Resolver == nil {
+			return fmt.Errorf("load: chaos step %s targets the owner but no resolver is wired", st)
+		}
+		var err error
+		if target, err = c.Resolver(st.AtRequest); err != nil {
+			return fmt.Errorf("load: resolving owner for chaos step %s: %w", st, err)
+		}
+	}
+	node, err := c.lab.Node(target)
 	if err != nil {
 		return err
 	}

@@ -121,23 +121,42 @@ func (n *LabNode) Clear() { n.gate.set("pass", 0) }
 // Lab is an in-process cluster of emxd nodes for load and chaos
 // testing: real listeners, real HTTP, no external processes.
 type Lab struct {
-	nodes []*LabNode
+	nodes    []*LabNode
+	replicas int
 }
 
 // NewLab starts n nodes, each with its own scheduler, on loopback
 // listeners. Close the lab to stop them.
+//
+// When opts.Replication.Replicas > 1 the nodes replicate their run
+// caches to each other: every listener is bound before any server is
+// built, so each node's replicator knows the full peer URL set (with
+// its own URL as Self) from construction.
 func NewLab(n int, opts service.Options) (*Lab, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("load: lab needs at least 1 node, got %d", n)
 	}
-	l := &Lab{}
+	l := &Lab{replicas: opts.Replication.Replicas}
+	lns := make([]net.Listener, 0, n)
+	urls := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			l.Close()
+			for _, prev := range lns {
+				prev.Close()
+			}
 			return nil, fmt.Errorf("load: listening for lab node %d: %w", i, err)
 		}
-		srv := service.New(opts)
+		lns = append(lns, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for i, ln := range lns {
+		o := opts
+		if o.Replication.Replicas > 1 {
+			o.Replication.Self = urls[i]
+			o.Replication.Peers = urls
+		}
+		srv := service.New(o)
 		node := &LabNode{
 			srv:  srv,
 			gate: &faultGate{h: srv.Handler(), mode: "pass"},
@@ -147,6 +166,55 @@ func NewLab(n int, opts service.Options) (*Lab, error) {
 		l.nodes = append(l.nodes, node)
 	}
 	return l, nil
+}
+
+// Server exposes node i's service.Server (replication and scheduler
+// introspection for tests and reports).
+func (n *LabNode) Server() *service.Server { return n.srv }
+
+// FlushReplication waits until every node's queued replica pushes have
+// been attempted, or the timeout lapses (per node). Reports whether all
+// queues drained.
+func (l *Lab) FlushReplication(timeout time.Duration) bool {
+	ok := true
+	for _, n := range l.nodes {
+		if !n.srv.FlushReplication(timeout) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// ReplicationStats sums every node's emxd_cache_replica_* counters,
+// or nil when the lab runs unreplicated.
+func (l *Lab) ReplicationStats() *ReplicationStats {
+	if l.replicas <= 1 {
+		return nil
+	}
+	out := &ReplicationStats{}
+	for _, n := range l.nodes {
+		snap := n.srv.Registry().Snapshot()
+		out.Pushes += uint64(snap["emxd_cache_replica_pushes_total"])
+		out.PushErrors += uint64(snap["emxd_cache_replica_push_errors_total"])
+		out.Stores += uint64(snap["emxd_cache_replica_stores_total"])
+		out.Fills += uint64(snap["emxd_cache_replica_fills_total"])
+		out.FillMisses += uint64(snap["emxd_cache_replica_fill_misses_total"])
+		out.DigestMismatches += uint64(snap["emxd_cache_replica_digest_mismatch_total"])
+		out.QueueDrops += uint64(snap["emxd_cache_replica_queue_drops_total"])
+		out.Migrated += uint64(snap["emxd_cache_replica_migrated_total"])
+	}
+	return out
+}
+
+// RunsExecuted sums simulator executions started across every node —
+// the number replication acceptance tests diff to prove cached points
+// were never recomputed.
+func (l *Lab) RunsExecuted() uint64 {
+	var total uint64
+	for _, n := range l.nodes {
+		total += n.srv.Scheduler().RunsExecuted()
+	}
+	return total
 }
 
 // URLs returns every node's base URL in node order.

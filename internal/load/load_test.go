@@ -134,6 +134,26 @@ func TestParseSchedule(t *testing.T) {
 		t.Fatalf("JSON parse: got %+v", jsonSteps)
 	}
 
+	// Owner-targeted steps: "owner" in the node slot resolves the victim
+	// from the request's routing key when the step fires.
+	ownerSteps, err := ParseSchedule("kill:owner@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ownerSteps, []Step{{Action: "kill", Owner: true, AtRequest: 10}}) {
+		t.Fatalf("owner parse: got %+v", ownerSteps)
+	}
+	if got := ownerSteps[0].String(); got != "kill:owner@10" {
+		t.Fatalf("owner step renders as %q", got)
+	}
+	jsonOwner, err := ParseSchedule(`[{"action":"kill","owner":true,"at_request":7}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jsonOwner, []Step{{Action: "kill", Owner: true, AtRequest: 7}}) {
+		t.Fatalf("JSON owner parse: got %+v", jsonOwner)
+	}
+
 	if steps, err := ParseSchedule(""); err != nil || steps != nil {
 		t.Fatalf("empty schedule: got %v, %v", steps, err)
 	}

@@ -119,14 +119,34 @@ type RampRow struct {
 	Errors      uint64  `json:"errors"`
 }
 
+// ReplicationStats sums the lab nodes' cache-replication counters
+// (the emxd_cache_replica_* series). Present only when the lab ran
+// with -replicas > 1.
+type ReplicationStats struct {
+	Pushes           uint64 `json:"pushes"`
+	PushErrors       uint64 `json:"push_errors"`
+	Stores           uint64 `json:"stores"`
+	Fills            uint64 `json:"fills"`
+	FillMisses       uint64 `json:"fill_misses"`
+	DigestMismatches uint64 `json:"digest_mismatches"`
+	QueueDrops       uint64 `json:"queue_drops"`
+	Migrated         uint64 `json:"migrated"`
+}
+
 // Host gathers every timing-dependent observation.
 type Host struct {
 	WallSeconds float64           `json:"wall_seconds"`
 	AchievedRPS float64           `json:"achieved_rps"`
 	SLO         map[string]SLORow `json:"slo"`
 	Client      ClientStats       `json:"client"`
+	Replication *ReplicationStats `json:"replication,omitempty"`
 	Ramp        []RampRow         `json:"ramp,omitempty"`
-	KneeRPS     float64           `json:"knee_rps,omitempty"`
+	// KneeRPS is the last offered rate the target achieved ≥90% of.
+	// Saturated disambiguates its zero value: in ramp mode it is always
+	// present, and false means no step qualified (KneeRPS 0 is "no
+	// knee found", not "knee at rate 0").
+	KneeRPS   float64 `json:"knee_rps,omitempty"`
+	Saturated *bool   `json:"saturated,omitempty"`
 }
 
 // WithoutHost returns a copy with the Host block removed — the
@@ -180,12 +200,19 @@ func (r *Report) WriteText(w io.Writer) error {
 	c := r.Host.Client
 	fmt.Fprintf(w, "  client: attempts=%d retries=%d failovers=%d hedges=%d (won=%d lost=%d) local=%d\n",
 		c.Attempts, c.Retries, c.Failovers, c.Hedges, c.HedgeWins, c.HedgeLosses, c.LocalFallbacks)
+	if rp := r.Host.Replication; rp != nil {
+		fmt.Fprintf(w, "  replication: pushes=%d (errors=%d) stores=%d fills=%d (misses=%d) mismatches=%d drops=%d migrated=%d\n",
+			rp.Pushes, rp.PushErrors, rp.Stores, rp.Fills, rp.FillMisses, rp.DigestMismatches, rp.QueueDrops, rp.Migrated)
+	}
 	for _, row := range r.Host.Ramp {
 		fmt.Fprintf(w, "  ramp: offered=%.1f achieved=%.1f p99=%.4fs errors=%d\n",
 			row.OfferedRPS, row.AchievedRPS, row.P99Seconds, row.Errors)
 	}
-	if r.Host.KneeRPS > 0 {
+	switch {
+	case r.Host.KneeRPS > 0:
 		fmt.Fprintf(w, "  knee: %.1f req/s\n", r.Host.KneeRPS)
+	case r.Host.Saturated != nil && !*r.Host.Saturated:
+		fmt.Fprintf(w, "  knee: none (no offered rate achieved 90%%)\n")
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"emx/internal/cluster"
 	"emx/internal/metrics"
+	"emx/internal/ring"
 )
 
 // Options configures one load run.
@@ -106,6 +107,16 @@ func Run(client *cluster.Client, lab *Lab, opts Options) (*Report, error) {
 			return nil, err
 		}
 		ctrl.Probe = opts.Probe
+		ctrl.Resolver = func(at uint64) (int, error) {
+			urls := lab.URLs()
+			owner := ring.New(urls).Owner(gen.Request(at).Key)
+			for i, u := range urls {
+				if u == owner {
+					return i, nil
+				}
+			}
+			return 0, fmt.Errorf("request %d's owner %q is not a lab node", at, owner)
+		}
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -136,6 +147,9 @@ func Run(client *cluster.Client, lab *Lab, opts Options) (*Report, error) {
 	}
 	host.SLO = r.col.SLO()
 	host.Client = clientStats(after.Sub(before))
+	if lab != nil {
+		host.Replication = lab.ReplicationStats()
+	}
 
 	nodes := 0
 	if lab != nil {
@@ -266,8 +280,11 @@ func (r *runner) openLoop(first uint64, n int, rate float64) {
 
 // ramp runs RampSteps open-loop segments at increasing offered rates
 // and locates the saturation knee: the last offered rate the target
-// achieved at least 90% of.
+// achieved at least 90% of. Saturated records whether any step
+// qualified — without it, KneeRPS 0 ("no step kept up") would be
+// indistinguishable from a knee at rate 0.
 func (r *runner) ramp(host *Host, logf func(string, ...any)) {
+	saturated := false
 	for s := 0; s < r.opts.RampSteps; s++ {
 		offered := r.opts.RampStart + float64(s)*r.opts.RampStep
 		seg := metrics.NewHistogram(metrics.DefLatencyBuckets)
@@ -292,6 +309,7 @@ func (r *runner) ramp(host *Host, logf func(string, ...any)) {
 		host.Ramp = append(host.Ramp, row)
 		if achieved >= 0.9*offered {
 			host.KneeRPS = offered
+			saturated = true
 		}
 		logf("ramp step %d/%d: offered=%.1f achieved=%.1f p99=%.4fs errors=%d",
 			s+1, r.opts.RampSteps, offered, achieved, row.P99Seconds, row.Errors)
@@ -299,4 +317,5 @@ func (r *runner) ramp(host *Host, logf func(string, ...any)) {
 	r.segMu.Lock()
 	r.seg = nil
 	r.segMu.Unlock()
+	host.Saturated = &saturated
 }

@@ -117,6 +117,111 @@ func TestChaosKillFailover(t *testing.T) {
 	}
 }
 
+// newReplicatedLabTarget is newLabTarget with R-way cache replication
+// on the nodes and replica-aware failover on the client.
+func newReplicatedLabTarget(t *testing.T, nodes, replicas int) (*Lab, *cluster.Client) {
+	t.Helper()
+	lab, err := NewLab(nodes, service.Options{
+		Sched:       labd.Options{Workers: 2, QueueSize: 256},
+		Replication: service.ReplicationOptions{Replicas: replicas},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lab.Close)
+	m := cluster.NewMembership(lab.URLs(), cluster.MembershipOptions{})
+	t.Cleanup(m.Close)
+	return lab, cluster.NewClient(m, cluster.ClientOptions{Replicas: replicas})
+}
+
+// TestChaosOwnerKillReplicated is the replication acceptance test at
+// the traffic level: with R=2, re-running fully cached traffic while
+// killing the one node guaranteed to hold a point's primary copy must
+// produce zero client-visible errors AND zero recomputations — every
+// post-kill answer comes from a replica copy, not a fresh execution.
+func TestChaosOwnerKillReplicated(t *testing.T) {
+	lab, client := newReplicatedLabTarget(t, 3, 2)
+	// No profiles: a failed-over profile re-renders its trace inline,
+	// which is deliberate recomputation and would blur the zero-delta
+	// assertion below.
+	opts := Options{
+		Mode:     "closed",
+		Requests: 40,
+		Clients:  1,
+		Seed:     42,
+		Space:    DefaultSpace(hugeScale, 1),
+		Mix:      Mix{Run: 6, Figure: 2},
+	}
+
+	// Phase 1 populates every cache and pushes each entry to its second
+	// ranked replica.
+	warm, err := Run(client, lab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Traffic.Errors != 0 {
+		t.Fatalf("warmup saw %d errors", warm.Traffic.Errors)
+	}
+	if warm.Host.Replication == nil {
+		t.Fatal("replicated lab report carries no replication block")
+	}
+	if warm.Host.Replication.Pushes == 0 || warm.Host.Replication.Stores == 0 {
+		t.Fatalf("warmup replicated nothing: %+v", warm.Host.Replication)
+	}
+	if !lab.FlushReplication(5 * time.Second) {
+		t.Fatal("replication queues did not drain")
+	}
+	executed := lab.RunsExecuted()
+	if executed == 0 {
+		t.Fatal("warmup executed nothing")
+	}
+
+	// Phase 2 re-issues the identical traffic while killing the owner of
+	// a figure request just before it fires: the failover node must
+	// serve the whole panel from replica copies (local pushes plus peer
+	// fills), never the simulator.
+	gen, err := NewGenerator(opts.Seed, opts.Space, opts.Mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figAt := uint64(0)
+	for i := uint64(2); i < uint64(opts.Requests); i++ {
+		if gen.Request(i).Endpoint == "/v1/figure" {
+			figAt = i
+			break
+		}
+	}
+	if figAt == 0 {
+		t.Fatal("no figure request in the traffic; widen the mix")
+	}
+	opts.Chaos = []Step{{Action: "kill", Owner: true, AtRequest: figAt}}
+	rep, err := Run(client, lab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.Errors != 0 {
+		t.Fatalf("owner kill leaked %d errors through R=2 replication", rep.Traffic.Errors)
+	}
+	if rep.Chaos == nil || rep.Chaos.Fired != 1 || len(rep.Chaos.Errors) != 0 {
+		t.Fatalf("chaos block wrong: %+v", rep.Chaos)
+	}
+	if got := lab.RunsExecuted(); got != executed {
+		t.Fatalf("owner kill recomputed %d previously cached points", got-executed)
+	}
+	if rep.Host.Replication.Fills == 0 {
+		t.Fatalf("no peer fills despite a failed-over figure sweep: %+v", rep.Host.Replication)
+	}
+
+	// The text report surfaces the replication counters.
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text.Bytes(), []byte("replication:")) {
+		t.Fatalf("text report lacks the replication line:\n%s", text.String())
+	}
+}
+
 // TestChaosDelayAndRestart exercises the remaining fault actions and
 // the post-restart probe hook.
 func TestChaosDelayAndRestart(t *testing.T) {
@@ -193,6 +298,59 @@ func TestOpenLoopAndRamp(t *testing.T) {
 		if row.OfferedRPS != 100*float64(i+1) {
 			t.Fatalf("ramp row %d offered %v", i, row.OfferedRPS)
 		}
+	}
+	if rep.Host.Saturated == nil {
+		t.Fatal("ramp report missing the explicit saturated marker")
+	}
+}
+
+// TestRampReportsUnsaturated is the regression test for the ambiguous
+// knee: when no offered rate achieves 90%, the report used to show
+// knee_rps 0 — indistinguishable from a knee at rate 0. The ramp block
+// must carry an explicit saturated:false marker instead.
+func TestRampReportsUnsaturated(t *testing.T) {
+	lab, client := newLabTarget(t, 1)
+	// Make the node far too slow for the offered rates: every segment
+	// achieves well under 90% of offer, so no knee exists.
+	node, err := lab.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Delay(100 * time.Millisecond)
+	defer node.Clear()
+
+	rep, err := Run(client, lab, Options{
+		Mode:      "ramp",
+		Requests:  4,
+		Seed:      7,
+		Space:     DefaultSpace(hugeScale, 1),
+		Mix:       Mix{Run: 1},
+		RampStart: 500,
+		RampStep:  500,
+		RampSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Host.KneeRPS != 0 {
+		t.Fatalf("KneeRPS = %v, want 0 (nothing achieved 90%%)", rep.Host.KneeRPS)
+	}
+	if rep.Host.Saturated == nil || *rep.Host.Saturated {
+		t.Fatalf("Saturated = %v, want explicit false", rep.Host.Saturated)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"saturated": false`)) {
+		t.Fatalf("JSON report lacks the explicit saturated:false marker:\n%s", buf.String())
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text.Bytes(), []byte("knee: none")) {
+		t.Fatalf("text report does not call out the missing knee:\n%s", text.String())
 	}
 }
 

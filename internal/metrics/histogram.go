@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -45,16 +46,18 @@ func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 // Quantile estimates the q-quantile (q in [0,1]) of the observed
 // distribution by linear interpolation inside the fixed buckets: the
 // bucket containing the target rank is assumed uniform between its
-// lower and upper bound. Values in the +Inf bucket cannot be
+// lower and upper bound (the first bucket interpolates from 0, not
+// from its own upper bound). Values in the +Inf bucket cannot be
 // interpolated, so any quantile landing there reports the highest
 // finite bound (the Prometheus convention). An empty histogram reports
-// 0.
+// 0. q outside [0,1] — including NaN, which no comparison clamps — is
+// pinned to the nearest valid quantile.
 func (h *Histogram) Quantile(q float64) float64 {
 	cum, _, n := h.snapshot()
 	if n == 0 || len(h.bounds) == 0 {
 		return 0
 	}
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
 		q = 0
 	}
 	if q > 1 {

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -105,6 +107,91 @@ func TestHistogramQuantileEdges(t *testing.T) {
 	}
 	if NewHistogram([]float64{1}).Quantile(2) != 0 {
 		t.Error("Quantile(2) on an empty histogram should be 0")
+	}
+}
+
+// TestHistogramQuantileNaN is the regression test for the NaN hole in
+// the q clamp: NaN fails both the q < 0 and q > 1 comparisons, so it
+// used to flow into the rank arithmetic and poison the estimate.
+func TestHistogramQuantileNaN(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for _, v := range []float64{0.5, 1.5} {
+		h.Observe(v)
+	}
+	got := h.Quantile(math.NaN())
+	if math.IsNaN(got) {
+		t.Fatal("Quantile(NaN) = NaN, want a pinned finite value")
+	}
+	if want := h.Quantile(0); got != want {
+		t.Errorf("Quantile(NaN) = %g, want %g (same as q=0)", got, want)
+	}
+}
+
+// TestHistogramQuantileFirstBucketFromZero pins the first bucket's
+// interpolation anchor: estimates inside the first bucket must
+// interpolate up from 0, not sit at the bucket's own upper bound.
+func TestHistogramQuantileFirstBucketFromZero(t *testing.T) {
+	h := newHistogram([]float64{8, 16})
+	for i := 0; i < 4; i++ {
+		h.Observe(1) // all mass in (0, 8]
+	}
+	// rank q*4 of 4 in a bucket spanning [0, 8): 0 + 8*q.
+	for _, c := range []struct{ q, want float64 }{{0.25, 2}, {0.5, 4}, {0.75, 6}} {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g (interpolated from lower bound 0)", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileProperty checks the estimator against a
+// sorted-sample reference on seeded pseudo-random observation sets:
+// every estimate must land inside the bucket that contains the
+// reference quantile (the histogram cannot do better than bucket
+// resolution, but it must never leave the right bucket).
+func TestHistogramQuantileProperty(t *testing.T) {
+	bounds := []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+	// Seeded xorshift so the test is deterministic without math/rand.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%100000) / 100000 * 12 // values in [0, 12)
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + int(state%200)
+		h := newHistogram(bounds)
+		samples := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := next()
+			h.Observe(v)
+			samples = append(samples, v)
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			// Reference: the ceil(q*n)-th order statistic (rank 0 -> minimum).
+			rank := int(math.Ceil(q * float64(n)))
+			if rank > 0 {
+				rank--
+			}
+			ref := samples[rank]
+			got := h.Quantile(q)
+			// Locate ref's bucket [lo, hi]; +Inf bucket pins to the top bound.
+			i := sort.SearchFloat64s(bounds, ref)
+			lo, hi := 0.0, bounds[len(bounds)-1]
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			if i < len(bounds) {
+				hi = bounds[i]
+			} else {
+				lo = bounds[len(bounds)-1] // ref in +Inf: estimate must equal top bound
+			}
+			if got < lo || got > hi {
+				t.Errorf("trial %d n=%d: Quantile(%g) = %g outside ref bucket [%g, %g] (ref sample %g)",
+					trial, n, q, got, lo, hi, ref)
+			}
+		}
 	}
 }
 
